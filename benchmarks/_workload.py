@@ -1,0 +1,37 @@
+"""Shared workload helpers for the benchmark harness.
+
+The paper's evaluation (Figure 4) uses XMark documents of 5/10/50/100 MB on a
+2004-era JVM.  A pure-Python event-at-a-time engine is roughly two orders of
+magnitude slower per byte, so the harness scales the documents down (the
+DESIGN.md substitution table documents this).  The *shape* of the results --
+which engine wins, how memory scales with document size, where the join
+queries explode -- is what the harness reproduces.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.xmark.generator import config_for_scale, generate_document
+
+#: Document scales used throughout the harness (fraction of ~1 MB each).
+FIGURE4_SCALES = (0.05, 0.1, 0.2, 0.4)
+
+_documents: Dict[float, str] = {}
+
+#: Rows collected by the benchmarks for the terminal summary tables.
+COLLECTED_ROWS: List[dict] = []
+
+
+def xmark_document(scale: float) -> str:
+    """Generate (and cache) the XMark document for one scale."""
+    if scale not in _documents:
+        _documents[scale] = generate_document(config_for_scale(scale, seed=97))
+    return _documents[scale]
+
+
+def record_row(benchmark, **fields) -> None:
+    """Attach fields to a benchmark and remember them for the summary table."""
+    benchmark.extra_info.update({key: value for key, value in fields.items() if key != "table"})
+    benchmark.extra_info["table"] = fields.get("table", "")
+    COLLECTED_ROWS.append(dict(fields))

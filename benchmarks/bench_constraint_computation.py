@@ -1,0 +1,94 @@
+"""Proposition 2.2: Ord (and Past) are computable in quadratic time.
+
+Measures the constraint-derivation cost for content models of growing size
+and for the full XMark DTD, confirming that schema preprocessing is cheap
+compared to query execution (the paper reports negligible rewriting and
+preprocessing times).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dtd.constraints import OrderConstraints
+from repro.dtd.glushkov import build_glushkov
+from repro.dtd.parser import parse_content_model
+from repro.xmark.dtd import XMARK_DTD_SOURCE, xmark_dtd
+from repro.dtd.parser import parse_dtd
+
+from _workload import record_row
+
+
+def _chain_model(size: int) -> str:
+    """A content model with ``size`` optional symbols in sequence."""
+    return "(" + ",".join(f"s{i}?" for i in range(size)) + ")"
+
+
+def _star_choice_model(size: int) -> str:
+    """A content model with a starred choice over ``size`` symbols."""
+    return "((" + "|".join(f"s{i}" for i in range(size)) + ")*)"
+
+
+@pytest.mark.parametrize("size", [8, 16, 32, 64])
+def test_order_constraint_computation_scales(benchmark, size):
+    particle = parse_content_model(_chain_model(size))
+
+    def run():
+        automaton = build_glushkov(particle)
+        return OrderConstraints(automaton)
+
+    constraints = benchmark(run)
+    record_row(
+        benchmark,
+        table="constraints",
+        model=f"chain-{size}",
+        symbols=len(constraints.symbols),
+        order_pairs=len(constraints.order_pairs()),
+    )
+    assert constraints.ord("s0", f"s{size - 1}")
+
+
+@pytest.mark.parametrize("size", [8, 32])
+def test_unordered_models_produce_no_constraints(benchmark, size):
+    particle = parse_content_model(_star_choice_model(size))
+
+    def run():
+        return OrderConstraints(build_glushkov(particle))
+
+    constraints = benchmark(run)
+    record_row(
+        benchmark,
+        table="constraints",
+        model=f"star-choice-{size}",
+        order_pairs=len([pair for pair in constraints.order_pairs() if pair[0] != pair[1]]),
+    )
+    assert not constraints.ord("s0", "s1")
+
+
+def test_full_xmark_dtd_preprocessing(benchmark):
+    def run():
+        dtd = parse_dtd(XMARK_DTD_SOURCE).with_root("site")
+        for name in dtd.element_names:
+            dtd.constraints(name)
+        return dtd
+
+    dtd = benchmark(run)
+    record_row(benchmark, table="constraints", model="xmark-dtd", elements=len(dtd.element_names))
+    assert dtd.ord("person", "person_id", "name")
+
+
+def test_past_table_lookup_is_constant_time(benchmark):
+    constraints = xmark_dtd().constraints("person")
+    table = constraints.past_table({"person_id", "name"})
+    automaton = constraints.automaton
+
+    def run():
+        state = automaton.initial
+        hits = 0
+        for _ in range(1000):
+            state = automaton.step(automaton.initial, "person_id")
+            hits += table[state]
+        return hits
+
+    hits = benchmark(run)
+    assert hits == 0  # name may still arrive after person_id

@@ -1,0 +1,50 @@
+"""Fixtures and terminal reporting for the benchmark harness."""
+
+from __future__ import annotations
+
+import pytest
+
+from _workload import COLLECTED_ROWS, FIGURE4_SCALES, xmark_document
+
+
+@pytest.fixture(scope="session")
+def xmark_documents():
+    """Mapping scale -> document text for the Figure-4 sweeps."""
+    return {scale: xmark_document(scale) for scale in FIGURE4_SCALES}
+
+
+@pytest.fixture(scope="session")
+def small_xmark_document():
+    """The smallest benchmark document (used by per-query micro benches)."""
+    return xmark_document(FIGURE4_SCALES[0])
+
+
+@pytest.fixture(scope="session")
+def medium_xmark_document():
+    """A mid-sized benchmark document."""
+    return xmark_document(FIGURE4_SCALES[2])
+
+
+@pytest.hookimpl(trylast=True)
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    rows = [row for row in COLLECTED_ROWS if row.get("table") == "figure4"]
+    if rows:
+        terminalreporter.write_sep(
+            "=", "Figure 4 reproduction (time in s, peak buffered memory in bytes)"
+        )
+        terminalreporter.write_line(
+            f"{'query':>6} {'doc bytes':>10} {'engine':>16} {'time [s]':>10} {'memory [B]':>12}"
+        )
+        for row in sorted(rows, key=lambda r: (r["query"], r["document_bytes"], r["engine"])):
+            terminalreporter.write_line(
+                f"{row['query']:>6} {row['document_bytes']:>10} {row['engine']:>16} "
+                f"{row['seconds']:>10.3f} {row['memory_bytes']:>12}"
+            )
+    memory_rows = [row for row in COLLECTED_ROWS if row.get("table") == "figure4-memory"]
+    if memory_rows:
+        terminalreporter.write_sep("=", "Figure 4 reproduction (peak memory across document sizes)")
+        for row in sorted(memory_rows, key=lambda r: (r["query"], r["engine"])):
+            pairs = ", ".join(
+                f"{size}B: {peak}B" for size, peak in zip(row["document_bytes"], row["peaks"])
+            )
+            terminalreporter.write_line(f"{row['query']:>6} {row['engine']:>16}  {pairs}")

@@ -1,0 +1,82 @@
+"""Inspect the scheduling decisions: order constraints, FluX handlers, buffers.
+
+This example is a small analysis tool rather than a query runner: given a
+query and a DTD it prints
+
+* the order and cardinality constraints the DTD provides per element,
+* the normalised query,
+* the scheduled FluX query,
+* the buffer trees (cf. Figure 3 of the paper) and the condition paths that
+  are tracked on the fly instead of being buffered.
+
+Run with::
+
+    python examples/buffer_analysis.py
+"""
+
+from repro import FluxEngine, load_dtd
+from repro.flux.rewrite import rewrite_to_flux
+from repro.flux.serialize import flux_to_source
+from repro.xquery.parser import parse_query
+from repro.xquery.serialize import expression_to_source
+from repro.xmark.dtd import XMARK_DTD_SOURCE
+from repro.xmark.queries import BENCHMARK_QUERIES
+
+
+def describe_constraints(dtd, element: str) -> None:
+    constraints = dtd.constraints(element)
+    symbols = sorted(constraints.symbols)
+    print(f"content model of <{element}>: {dtd.declaration(element).content}")
+    ordered_pairs = [
+        (first, second)
+        for first in symbols
+        for second in symbols
+        if first != second and constraints.ord(first, second)
+    ]
+    print(f"  order constraints Ord({element}): {len(ordered_pairs)} pairs")
+    for first, second in ordered_pairs[:8]:
+        print(f"    all <{first}> before all <{second}>")
+    if len(ordered_pairs) > 8:
+        print(f"    ... and {len(ordered_pairs) - 8} more")
+    singletons = [symbol for symbol in symbols if constraints.at_most_one(symbol)]
+    print(f"  at-most-one children: {', '.join(singletons) if singletons else '(none)'}")
+
+
+def analyse(query_name: str) -> None:
+    print("=" * 78)
+    print(f"XMark {query_name}")
+    print("=" * 78)
+    dtd = load_dtd(XMARK_DTD_SOURCE, root_element="site")
+    query = parse_query(BENCHMARK_QUERIES[query_name])
+
+    rewrite = rewrite_to_flux(query, dtd)
+    print("\n-- normalised XQuery- --")
+    print(expression_to_source(rewrite.normalized))
+    print("\n-- scheduled FluX query --")
+    print(flux_to_source(rewrite.flux))
+
+    engine = FluxEngine(query, dtd)
+    print("\n-- buffer trees (what will be held in memory) --")
+    print(engine.describe_buffers())
+    if engine.plan.value_paths:
+        print("\n-- condition paths tracked on the fly (flags/values, not buffered) --")
+        for var, paths in sorted(engine.plan.value_paths.items()):
+            for path in sorted(paths):
+                print(f"  {var}/{'/'.join(path)}")
+    print()
+
+
+def main() -> None:
+    dtd = load_dtd(XMARK_DTD_SOURCE, root_element="site")
+    print("Schema constraints that drive the scheduling")
+    print("-" * 78)
+    for element in ("site", "person", "item"):
+        describe_constraints(dtd, element)
+        print()
+
+    for query_name in ("Q1", "Q8", "Q20"):
+        analyse(query_name)
+
+
+if __name__ == "__main__":
+    main()

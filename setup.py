@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The environment has setuptools but no ``wheel`` package, so editable installs
+go through ``setup.py develop`` (``pip install -e . --no-use-pep517``).
+All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,57 @@
+"""repro -- reproduction of the FluX system (VLDB 2004).
+
+"Schema-based Scheduling of Event Processors and Buffer Minimization for
+Queries on Structured Data Streams" introduced FluX, an event-based extension
+of XQuery, together with an algorithm that uses DTD order constraints to
+schedule query evaluation over XML streams with minimal main-memory
+buffering.  This package reimplements the complete system:
+
+* :mod:`repro.xmlstream` -- streaming XML substrate (events, parser, trees),
+* :mod:`repro.dtd` -- DTDs, Glushkov automata, order/cardinality constraints,
+* :mod:`repro.xquery` -- the XQuery⁻ fragment, normalisation, reference
+  semantics,
+* :mod:`repro.flux` -- the FluX language, the scheduling rewrite, safety,
+* :mod:`repro.engine` -- the streaming engine with projected buffers,
+* :mod:`repro.baselines` -- full-materialisation and projection baselines,
+* :mod:`repro.xmark` -- XMark-like workload generator and benchmark queries,
+* :mod:`repro.core` -- the public API (start here).
+
+Quickstart::
+
+    from repro import FluxEngine, load_dtd
+
+    dtd = load_dtd(open("bib.dtd").read(), root_element="bib")
+    engine = FluxEngine(open("query.xq").read(), dtd)
+    result = engine.run("bib.xml")
+    print(result.output)
+    print(result.stats.summary())
+"""
+
+from repro.core import (
+    CompiledQuery,
+    FluxEngine,
+    FluxRunResult,
+    NaiveDomEngine,
+    ProjectionDomEngine,
+    RunStatistics,
+    compare_engines,
+    compile_to_flux,
+    load_dtd,
+    run_query,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CompiledQuery",
+    "FluxEngine",
+    "FluxRunResult",
+    "NaiveDomEngine",
+    "ProjectionDomEngine",
+    "RunStatistics",
+    "__version__",
+    "compare_engines",
+    "compile_to_flux",
+    "load_dtd",
+    "run_query",
+]

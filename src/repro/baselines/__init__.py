@@ -1,0 +1,24 @@
+"""Baseline engines the FluX engine is compared against.
+
+The paper compares its prototype against Galax (a full main-memory XQuery
+engine, run with path projection enabled) and against an anonymous commercial
+engine.  Neither can be shipped here, so two baselines that reproduce the two
+memory regimes stand in for them:
+
+* :class:`~repro.baselines.naive.NaiveDomEngine` -- materialise the whole
+  document as a tree, then evaluate the query in memory.  Memory grows with
+  the document; this is the "conventional main-memory engine" regime.
+* :class:`~repro.baselines.projection.ProjectionDomEngine` -- materialise only
+  the paths the query mentions (Marian & Siméon-style projection, reference
+  [14] of the paper), then evaluate in memory.  Memory grows with the
+  *projected* document; this is the strongest non-schema-aware competitor.
+
+Both reuse the reference XQuery⁻ semantics, so all three engines must agree
+on every query result -- which the integration tests assert.
+"""
+
+from repro.baselines.common import BaselineResult
+from repro.baselines.naive import NaiveDomEngine
+from repro.baselines.projection import ProjectionDomEngine
+
+__all__ = ["BaselineResult", "NaiveDomEngine", "ProjectionDomEngine"]

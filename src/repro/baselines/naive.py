@@ -1,0 +1,55 @@
+"""Naive full-materialisation baseline ("Galax-like").
+
+Parses the entire document into an in-memory tree and evaluates the query
+with the reference XQuery⁻ semantics.  Peak memory therefore grows linearly
+with the document size regardless of the query -- the regime the paper's
+Figure 4 shows for Galax.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Union
+
+from repro.baselines.common import BaselineResult, tree_cost
+from repro.xmlstream.parser import DocumentSource, parse_tree
+from repro.xmlstream.tree import XMLNode
+from repro.xquery.ast import XQExpr
+from repro.xquery.parser import parse_query
+from repro.xquery.semantics import evaluate_to_string
+
+
+class NaiveDomEngine:
+    """Materialise everything, then evaluate in memory."""
+
+    name = "naive-dom"
+
+    def __init__(self, query: Union[str, XQExpr]):
+        self.query = parse_query(query) if isinstance(query, str) else query
+
+    def run(self, document: DocumentSource, *, collect_output: bool = True) -> BaselineResult:
+        """Run the query over ``document`` (text, path, file object, chunks)."""
+        started = time.perf_counter()
+        root = parse_tree(document)
+        events, cost = tree_cost(root)
+        output = evaluate_to_string(self.query, root)
+        elapsed = time.perf_counter() - started
+        return BaselineResult(
+            output=output if collect_output else None,
+            peak_buffered_events=events,
+            peak_buffered_bytes=cost,
+            elapsed_seconds=elapsed,
+        )
+
+    def run_tree(self, root: XMLNode, *, collect_output: bool = True) -> BaselineResult:
+        """Run over an already-materialised tree (useful in micro-benchmarks)."""
+        started = time.perf_counter()
+        events, cost = tree_cost(root)
+        output = evaluate_to_string(self.query, root)
+        elapsed = time.perf_counter() - started
+        return BaselineResult(
+            output=output if collect_output else None,
+            peak_buffered_events=events,
+            peak_buffered_bytes=cost,
+            elapsed_seconds=elapsed,
+        )

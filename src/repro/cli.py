@@ -1,0 +1,219 @@
+"""Command-line interface.
+
+The CLI exposes the end-to-end pipeline for experimentation without writing
+Python code::
+
+    python -m repro compile  --query q.xq --dtd bib.dtd --root bib
+    python -m repro run      --query q.xq --dtd bib.dtd --root bib --document doc.xml
+    python -m repro compare  --query q.xq --dtd bib.dtd --root bib --document doc.xml
+    python -m repro validate --dtd bib.dtd --root bib --document doc.xml
+    python -m repro generate --scale 0.2 --output xmark.xml
+    python -m repro xmark    --query Q13 --scale 0.1
+
+``compile`` prints the scheduled FluX query and the buffer trees; ``run``
+executes a query and reports the output (optionally to a file) together with
+the buffer statistics; ``compare`` runs the FluX engine and both baselines;
+``generate`` produces XMark-like documents; ``xmark`` runs one of the
+benchmark queries on generated data.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.baselines import NaiveDomEngine, ProjectionDomEngine
+from repro.core.api import compile_to_flux, load_dtd
+from repro.dtd.validator import validate_document
+from repro.engine.engine import FluxEngine
+from repro.xmark.dtd import XMARK_DTD_SOURCE
+from repro.xmark.generator import config_for_scale, write_document, generate_document
+from repro.xmark.queries import BENCHMARK_QUERIES
+from repro.xmlstream.parser import iter_events
+
+
+def _read(path: str) -> str:
+    with open(path, "r", encoding="utf-8") as handle:
+        return handle.read()
+
+
+def _load_schema(args) -> "DTD":
+    if args.dtd is None:
+        return load_dtd(XMARK_DTD_SOURCE, root_element=args.root or "site")
+    return load_dtd(_read(args.dtd), root_element=args.root)
+
+
+def _add_schema_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--dtd", help="path to the DTD file (defaults to the built-in XMark DTD)")
+    parser.add_argument("--root", help="name of the document element", default=None)
+
+
+def _add_query_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--query",
+        required=True,
+        help="path to the XQuery- file, or the name of a built-in XMark query (Q1, Q8, Q11, Q13, Q20)",
+    )
+
+
+def _resolve_query(argument: str) -> str:
+    if argument in BENCHMARK_QUERIES:
+        return BENCHMARK_QUERIES[argument]
+    return _read(argument)
+
+
+# ---------------------------------------------------------------------------
+# Subcommands
+
+
+def _cmd_compile(args) -> int:
+    schema = _load_schema(args)
+    compiled = compile_to_flux(_resolve_query(args.query), schema)
+    print("--- scheduled FluX query ---")
+    print(compiled.flux_source)
+    if args.show_normalized:
+        print("\n--- normalised XQuery- ---")
+        print(compiled.normalized_source)
+    engine = FluxEngine(compiled.flux, schema)
+    print("\n--- buffer trees ---")
+    print(engine.describe_buffers())
+    print(f"\nsafe for the DTD: {compiled.is_safe}")
+    return 0
+
+
+def _cmd_run(args) -> int:
+    schema = _load_schema(args)
+    engine = FluxEngine(_resolve_query(args.query), schema)
+    collect = not args.discard_output
+    result = engine.run(args.document, collect_output=collect)
+    if collect:
+        if args.output:
+            with open(args.output, "w", encoding="utf-8") as handle:
+                handle.write(result.output or "")
+        else:
+            print(result.output)
+    print(result.stats.summary(), file=sys.stderr)
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    schema = _load_schema(args)
+    query = _resolve_query(args.query)
+    document = _read(args.document) if not args.document.lstrip().startswith("<") else args.document
+
+    flux = FluxEngine(query, schema).run(document, collect_output=True)
+    naive = NaiveDomEngine(query).run(document)
+    projection = ProjectionDomEngine(query).run(document)
+
+    agree = flux.output == naive.output == projection.output
+    print(f"{'engine':>16} {'time [s]':>10} {'peak memory [B]':>16}")
+    print(f"{'flux':>16} {flux.stats.elapsed_seconds:>10.3f} {flux.stats.peak_buffered_bytes:>16}")
+    print(f"{'naive-dom':>16} {naive.elapsed_seconds:>10.3f} {naive.peak_buffered_bytes:>16}")
+    print(f"{'projection-dom':>16} {projection.elapsed_seconds:>10.3f} {projection.peak_buffered_bytes:>16}")
+    print(f"outputs identical: {agree}")
+    return 0 if agree else 1
+
+
+def _cmd_validate(args) -> int:
+    schema = _load_schema(args)
+    report = validate_document(schema, iter_events(args.document), expected_root=args.root)
+    if report.is_valid:
+        print(f"valid ({report.element_count} elements)")
+        return 0
+    print(f"INVALID ({len(report.errors)} errors)")
+    for error in report.errors[: args.max_errors]:
+        print(f"  - {error}")
+    return 1
+
+
+def _cmd_generate(args) -> int:
+    config = config_for_scale(args.scale, seed=args.seed)
+    if args.output:
+        written = write_document(args.output, config)
+        print(f"wrote {written} bytes to {args.output}")
+    else:
+        sys.stdout.write(generate_document(config))
+    return 0
+
+
+def _cmd_xmark(args) -> int:
+    schema = load_dtd(XMARK_DTD_SOURCE, root_element="site")
+    document = generate_document(config_for_scale(args.scale, seed=args.seed))
+    query = BENCHMARK_QUERIES[args.query]
+    engine = FluxEngine(query, schema)
+    result = engine.run(document, collect_output=not args.discard_output)
+    if not args.discard_output and args.show_output:
+        print(result.output)
+    print(
+        f"{args.query} on {len(document)} bytes: "
+        f"time={result.stats.elapsed_seconds:.3f}s "
+        f"peak-buffer={result.stats.peak_buffered_bytes}B "
+        f"output={result.stats.output_bytes}B"
+    )
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# Argument parsing
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="FluX: schema-based scheduling for queries on XML streams (VLDB 2004 reproduction)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    compile_parser = subparsers.add_parser("compile", help="schedule a query into FluX and show the buffers")
+    _add_query_argument(compile_parser)
+    _add_schema_arguments(compile_parser)
+    compile_parser.add_argument("--show-normalized", action="store_true", help="also print the normalised query")
+    compile_parser.set_defaults(handler=_cmd_compile)
+
+    run_parser = subparsers.add_parser("run", help="execute a query over a document")
+    _add_query_argument(run_parser)
+    _add_schema_arguments(run_parser)
+    run_parser.add_argument("--document", required=True, help="path to the XML document")
+    run_parser.add_argument("--output", help="write the result to this file instead of stdout")
+    run_parser.add_argument("--discard-output", action="store_true", help="do not materialise the result")
+    run_parser.set_defaults(handler=_cmd_run)
+
+    compare_parser = subparsers.add_parser("compare", help="run FluX and both baselines over a document")
+    _add_query_argument(compare_parser)
+    _add_schema_arguments(compare_parser)
+    compare_parser.add_argument("--document", required=True, help="path to the XML document")
+    compare_parser.set_defaults(handler=_cmd_compare)
+
+    validate_parser = subparsers.add_parser("validate", help="validate a document against a DTD")
+    _add_schema_arguments(validate_parser)
+    validate_parser.add_argument("--document", required=True, help="path to the XML document")
+    validate_parser.add_argument("--max-errors", type=int, default=20)
+    validate_parser.set_defaults(handler=_cmd_validate)
+
+    generate_parser = subparsers.add_parser("generate", help="generate an XMark-like document")
+    generate_parser.add_argument("--scale", type=float, default=0.1, help="document scale (~MB)")
+    generate_parser.add_argument("--seed", type=int, default=42)
+    generate_parser.add_argument("--output", help="output file (stdout if omitted)")
+    generate_parser.set_defaults(handler=_cmd_generate)
+
+    xmark_parser = subparsers.add_parser("xmark", help="run a built-in benchmark query on generated data")
+    xmark_parser.add_argument("--query", choices=sorted(BENCHMARK_QUERIES), default="Q13")
+    xmark_parser.add_argument("--scale", type=float, default=0.1)
+    xmark_parser.add_argument("--seed", type=int, default=42)
+    xmark_parser.add_argument("--show-output", action="store_true")
+    xmark_parser.add_argument("--discard-output", action="store_true")
+    xmark_parser.set_defaults(handler=_cmd_xmark)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

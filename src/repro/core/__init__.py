@@ -1,0 +1,38 @@
+"""Public API of the FluX reproduction.
+
+Most applications only need three things:
+
+* :func:`compile_to_flux` -- turn an XQuery⁻ query plus a DTD into a safe,
+  buffer-minimising FluX query (the paper's Sections 4.1/4.2),
+* :class:`FluxEngine` -- compile once and execute over streaming documents,
+  collecting output and buffer statistics (Section 5),
+* :func:`run_query` -- one-shot convenience wrapper around the two.
+
+The baseline engines (:class:`NaiveDomEngine`, :class:`ProjectionDomEngine`)
+are re-exported for side-by-side comparisons, as used by the benchmark
+harness that reproduces Figure 4.
+"""
+
+from repro.core.api import (
+    CompiledQuery,
+    compare_engines,
+    compile_to_flux,
+    load_dtd,
+    run_query,
+)
+from repro.baselines import NaiveDomEngine, ProjectionDomEngine
+from repro.engine.engine import FluxEngine, FluxRunResult
+from repro.engine.stats import RunStatistics
+
+__all__ = [
+    "CompiledQuery",
+    "FluxEngine",
+    "FluxRunResult",
+    "NaiveDomEngine",
+    "ProjectionDomEngine",
+    "RunStatistics",
+    "compare_engines",
+    "compile_to_flux",
+    "load_dtd",
+    "run_query",
+]

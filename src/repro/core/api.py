@@ -1,0 +1,126 @@
+"""Convenience layer tying the pipeline together."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Union
+
+from repro.baselines import NaiveDomEngine, ProjectionDomEngine
+from repro.dtd.parser import parse_dtd
+from repro.dtd.schema import DTD, ROOT_ELEMENT
+from repro.engine.engine import FluxEngine, FluxRunResult
+from repro.flux.ast import FluxExpr
+from repro.flux.rewrite import rewrite_to_flux
+from repro.flux.safety import check_safety
+from repro.flux.serialize import flux_to_source
+from repro.xmlstream.parser import DocumentSource
+from repro.xquery.ast import ROOT_VARIABLE, XQExpr
+from repro.xquery.parser import parse_query
+
+
+def load_dtd(source: Union[str, DTD], *, root_element: Optional[str] = None) -> DTD:
+    """Parse (if necessary) a DTD and attach the virtual document root."""
+    dtd = parse_dtd(source) if isinstance(source, str) else source
+    if ROOT_ELEMENT in dtd:
+        return dtd
+    if root_element is None:
+        raise ValueError("root_element is required when the DTD has no attached root")
+    return dtd.with_root(root_element)
+
+
+@dataclass
+class CompiledQuery:
+    """An XQuery⁻ query scheduled into FluX, with its intermediate stages."""
+
+    flux: FluxExpr
+    flux_source: str
+    normalized_source: str
+    is_safe: bool
+    dtd: DTD
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.flux_source
+
+
+def compile_to_flux(
+    query: Union[str, XQExpr],
+    dtd: Union[str, DTD],
+    *,
+    root_element: Optional[str] = None,
+    root_var: str = ROOT_VARIABLE,
+    apply_simplifications: bool = True,
+) -> CompiledQuery:
+    """Schedule an XQuery⁻ query into an equivalent safe FluX query."""
+    schema = load_dtd(dtd, root_element=root_element)
+    expr = parse_query(query) if isinstance(query, str) else query
+    result = rewrite_to_flux(
+        expr, schema, root_var=root_var, apply_simplifications=apply_simplifications
+    )
+    violations = check_safety(result.flux, schema, root_var=root_var)
+    return CompiledQuery(
+        flux=result.flux,
+        flux_source=flux_to_source(result.flux),
+        normalized_source=result.normalized.to_source(),
+        is_safe=not violations,
+        dtd=schema,
+    )
+
+
+def run_query(
+    query: Union[str, XQExpr],
+    document: DocumentSource,
+    dtd: Union[str, DTD],
+    *,
+    root_element: Optional[str] = None,
+    collect_output: bool = True,
+    expand_attrs: bool = False,
+) -> FluxRunResult:
+    """One-shot: schedule, compile and execute a query over a document."""
+    schema = load_dtd(dtd, root_element=root_element)
+    engine = FluxEngine(query, schema)
+    return engine.run(document, collect_output=collect_output, expand_attrs=expand_attrs)
+
+
+def compare_engines(
+    query: Union[str, XQExpr],
+    document: DocumentSource,
+    dtd: Union[str, DTD],
+    *,
+    root_element: Optional[str] = None,
+) -> Dict[str, Dict[str, object]]:
+    """Run the FluX engine and both baselines over the same input.
+
+    Returns, per engine, the output, the peak buffered bytes and the elapsed
+    time -- the three quantities the paper's evaluation reports.  The
+    document must be re-readable (text or path), since it is consumed three
+    times.
+    """
+    schema = load_dtd(dtd, root_element=root_element)
+    expr = parse_query(query) if isinstance(query, str) else query
+
+    flux_engine = FluxEngine(expr, schema)
+    flux_result = flux_engine.run(document)
+
+    naive = NaiveDomEngine(expr).run(document)
+    projection = ProjectionDomEngine(expr).run(document)
+
+    return {
+        "flux": {
+            "output": flux_result.output,
+            "peak_buffered_bytes": flux_result.stats.peak_buffered_bytes,
+            "peak_buffered_events": flux_result.stats.peak_buffered_events,
+            "elapsed_seconds": flux_result.stats.elapsed_seconds,
+        },
+        "naive-dom": {
+            "output": naive.output,
+            "peak_buffered_bytes": naive.peak_buffered_bytes,
+            "peak_buffered_events": naive.peak_buffered_events,
+            "elapsed_seconds": naive.elapsed_seconds,
+        },
+        "projection-dom": {
+            "output": projection.output,
+            "peak_buffered_bytes": projection.peak_buffered_bytes,
+            "peak_buffered_events": projection.peak_buffered_events,
+            "elapsed_seconds": projection.elapsed_seconds,
+        },
+    }

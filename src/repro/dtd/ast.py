@@ -1,0 +1,327 @@
+"""Content-model AST.
+
+A DTD element declaration ``<!ELEMENT name content>`` associates a *content
+particle* (an extended regular expression over tag names) with every element
+name.  This module defines the particle AST plus the handful of structural
+helpers (symbol collection, nullability, word matching by derivation) that the
+Glushkov construction and the test suite need.
+
+The special content kinds ``EMPTY``, ``ANY`` and mixed content
+``(#PCDATA | a | ...)*`` are represented by dedicated marker classes; the
+schema layer (:mod:`repro.dtd.schema`) lowers them to ordinary particles when
+an automaton is required.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Iterator, Sequence as SequenceType, Tuple
+
+
+class ContentParticle:
+    """Base class for content-model regular expressions."""
+
+    def symbols(self) -> FrozenSet[str]:
+        """The set of tag names occurring in the particle (``symb(ρ)``)."""
+        raise NotImplementedError
+
+    def nullable(self) -> bool:
+        """Whether the empty word belongs to the language of the particle."""
+        raise NotImplementedError
+
+    def to_source(self) -> str:
+        """Render the particle in DTD syntax."""
+        raise NotImplementedError
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.to_source()
+
+
+@dataclass(frozen=True)
+class Symbol(ContentParticle):
+    """A single tag name."""
+
+    name: str
+
+    def symbols(self) -> FrozenSet[str]:
+        return frozenset({self.name})
+
+    def nullable(self) -> bool:
+        return False
+
+    def to_source(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Sequence(ContentParticle):
+    """Concatenation ``(a, b, c)``."""
+
+    items: Tuple[ContentParticle, ...]
+
+    def __init__(self, items: SequenceType[ContentParticle]):
+        object.__setattr__(self, "items", tuple(items))
+
+    def symbols(self) -> FrozenSet[str]:
+        out: FrozenSet[str] = frozenset()
+        for item in self.items:
+            out = out | item.symbols()
+        return out
+
+    def nullable(self) -> bool:
+        return all(item.nullable() for item in self.items)
+
+    def to_source(self) -> str:
+        return "(" + ",".join(item.to_source() for item in self.items) + ")"
+
+
+@dataclass(frozen=True)
+class Choice(ContentParticle):
+    """Alternation ``(a | b | c)``."""
+
+    items: Tuple[ContentParticle, ...]
+
+    def __init__(self, items: SequenceType[ContentParticle]):
+        object.__setattr__(self, "items", tuple(items))
+
+    def symbols(self) -> FrozenSet[str]:
+        out: FrozenSet[str] = frozenset()
+        for item in self.items:
+            out = out | item.symbols()
+        return out
+
+    def nullable(self) -> bool:
+        return any(item.nullable() for item in self.items)
+
+    def to_source(self) -> str:
+        return "(" + "|".join(item.to_source() for item in self.items) + ")"
+
+
+@dataclass(frozen=True)
+class Star(ContentParticle):
+    """Kleene star ``x*``."""
+
+    inner: ContentParticle
+
+    def symbols(self) -> FrozenSet[str]:
+        return self.inner.symbols()
+
+    def nullable(self) -> bool:
+        return True
+
+    def to_source(self) -> str:
+        return self.inner.to_source() + "*"
+
+
+@dataclass(frozen=True)
+class Plus(ContentParticle):
+    """One or more ``x+``."""
+
+    inner: ContentParticle
+
+    def symbols(self) -> FrozenSet[str]:
+        return self.inner.symbols()
+
+    def nullable(self) -> bool:
+        return self.inner.nullable()
+
+    def to_source(self) -> str:
+        return self.inner.to_source() + "+"
+
+
+@dataclass(frozen=True)
+class Optional(ContentParticle):
+    """Zero or one ``x?``."""
+
+    inner: ContentParticle
+
+    def symbols(self) -> FrozenSet[str]:
+        return self.inner.symbols()
+
+    def nullable(self) -> bool:
+        return True
+
+    def to_source(self) -> str:
+        return self.inner.to_source() + "?"
+
+
+@dataclass(frozen=True)
+class Epsilon(ContentParticle):
+    """The empty word (used to lower ``EMPTY`` and ``(#PCDATA)`` content)."""
+
+    def symbols(self) -> FrozenSet[str]:
+        return frozenset()
+
+    def nullable(self) -> bool:
+        return True
+
+    def to_source(self) -> str:
+        return "EMPTY"
+
+
+# --------------------------------------------------------------------------
+# Special content kinds.  These are *not* regular expressions themselves; the
+# schema layer lowers them.
+
+
+@dataclass(frozen=True)
+class EmptyContent:
+    """``<!ELEMENT x EMPTY>`` -- no children, no text."""
+
+    def to_source(self) -> str:
+        return "EMPTY"
+
+
+@dataclass(frozen=True)
+class AnyContent:
+    """``<!ELEMENT x ANY>`` -- any declared elements and text, in any order."""
+
+    def to_source(self) -> str:
+        return "ANY"
+
+
+@dataclass(frozen=True)
+class PCDataContent:
+    """``<!ELEMENT x (#PCDATA)>`` -- text only, no element children."""
+
+    def to_source(self) -> str:
+        return "(#PCDATA)"
+
+
+@dataclass(frozen=True)
+class MixedContent:
+    """``<!ELEMENT x (#PCDATA | a | b)*`` -- text interleaved with elements."""
+
+    names: Tuple[str, ...] = field(default=())
+
+    def to_source(self) -> str:
+        inner = "|".join(("#PCDATA",) + self.names)
+        return f"({inner})*"
+
+
+ContentModel = object  # Union of ContentParticle and the special kinds.
+
+
+def symbols_of(model) -> FrozenSet[str]:
+    """Symbols used by any content model (particle or special kind)."""
+    if isinstance(model, ContentParticle):
+        return model.symbols()
+    if isinstance(model, MixedContent):
+        return frozenset(model.names)
+    if isinstance(model, (EmptyContent, PCDataContent)):
+        return frozenset()
+    if isinstance(model, AnyContent):
+        raise ValueError("symbols of ANY content depend on the whole DTD; use DTD.symbols()")
+    raise TypeError(f"not a content model: {model!r}")
+
+
+def iter_particles(particle: ContentParticle) -> Iterator[ContentParticle]:
+    """Depth-first iteration over all sub-particles (including the root)."""
+    yield particle
+    if isinstance(particle, (Sequence, Choice)):
+        for item in particle.items:
+            yield from iter_particles(item)
+    elif isinstance(particle, (Star, Plus, Optional)):
+        yield from iter_particles(particle.inner)
+
+
+def particle_size(particle: ContentParticle) -> int:
+    """Number of AST nodes; used as the ``|ρ|`` measure in complexity checks."""
+    return sum(1 for _ in iter_particles(particle))
+
+
+def matches_word(particle: ContentParticle, word: SequenceType[str]) -> bool:
+    """Decide ``word ∈ L(particle)`` by Brzozowski derivatives.
+
+    This is the *specification-level* matcher: slow but obviously correct.
+    The engine uses the Glushkov automaton instead; the test suite
+    cross-checks the two on random particles and words.
+    """
+    current = particle
+    for symbol in word:
+        current = _derivative(current, symbol)
+        if current is None:
+            return False
+    return current.nullable()
+
+
+def _derivative(particle: ContentParticle, symbol: str):
+    """Brzozowski derivative of ``particle`` with respect to ``symbol``.
+
+    Returns ``None`` for the empty language.
+    """
+    if isinstance(particle, Symbol):
+        return Epsilon() if particle.name == symbol else None
+    if isinstance(particle, Epsilon):
+        return None
+    if isinstance(particle, Choice):
+        branches = [
+            derived
+            for derived in (_derivative(item, symbol) for item in particle.items)
+            if derived is not None
+        ]
+        if not branches:
+            return None
+        if len(branches) == 1:
+            return branches[0]
+        return Choice(branches)
+    if isinstance(particle, Sequence):
+        if not particle.items:
+            return None
+        head, tail = particle.items[0], particle.items[1:]
+        rest = Sequence(tail) if len(tail) > 1 else (tail[0] if tail else Epsilon())
+        branches = []
+        head_derived = _derivative(head, symbol)
+        if head_derived is not None:
+            branches.append(_sequence_of(head_derived, rest))
+        if head.nullable():
+            rest_derived = _derivative(rest, symbol)
+            if rest_derived is not None:
+                branches.append(rest_derived)
+        if not branches:
+            return None
+        if len(branches) == 1:
+            return branches[0]
+        return Choice(branches)
+    if isinstance(particle, Star):
+        inner_derived = _derivative(particle.inner, symbol)
+        if inner_derived is None:
+            return None
+        return _sequence_of(inner_derived, particle)
+    if isinstance(particle, Plus):
+        inner_derived = _derivative(particle.inner, symbol)
+        if inner_derived is None:
+            return None
+        return _sequence_of(inner_derived, Star(particle.inner))
+    if isinstance(particle, Optional):
+        return _derivative(particle.inner, symbol)
+    raise TypeError(f"not a content particle: {particle!r}")
+
+
+def _sequence_of(left: ContentParticle, right: ContentParticle) -> ContentParticle:
+    if isinstance(left, Epsilon):
+        return right
+    if isinstance(right, Epsilon):
+        return left
+    return Sequence([left, right])
+
+
+def enumerate_words(particle: ContentParticle, max_length: int) -> Iterator[Tuple[str, ...]]:
+    """Enumerate all words of ``L(particle)`` up to ``max_length``.
+
+    Used by property tests to compare the derived constraint relations with a
+    brute-force ground truth.  The enumeration explores words breadth-first
+    over the alphabet of the particle.
+    """
+    alphabet = sorted(particle.symbols())
+    frontier: list = [()]
+    for length in range(max_length + 1):
+        next_frontier = []
+        for word in frontier:
+            if len(word) == length:
+                if matches_word(particle, word):
+                    yield word
+                if length < max_length:
+                    for symbol in alphabet:
+                        next_frontier.append(word + (symbol,))
+        frontier = next_frontier

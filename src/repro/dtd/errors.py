@@ -1,0 +1,26 @@
+"""Errors raised by the DTD substrate."""
+
+
+class DTDError(Exception):
+    """Base class for all DTD-related errors."""
+
+
+class DTDSyntaxError(DTDError):
+    """Raised when a DTD document cannot be parsed."""
+
+
+class NotOneUnambiguousError(DTDError):
+    """Raised when a content model is not one-unambiguous.
+
+    DTD content models are required to be one-unambiguous (deterministic),
+    which is what makes the Glushkov automaton deterministic and the
+    constraint computations of Appendix B possible.
+    """
+
+
+class UnknownElementError(DTDError):
+    """Raised when an element name is not declared in the DTD."""
+
+
+class ValidationError(DTDError):
+    """Raised (or recorded) when a document does not conform to the DTD."""

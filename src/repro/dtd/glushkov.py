@@ -1,0 +1,232 @@
+"""Glushkov automaton construction for content models.
+
+DTD content models are required to be *one-unambiguous* (Brüggemann-Klein and
+Wood), which guarantees that the Glushkov automaton -- whose states are the
+positions (marked symbol occurrences) of the regular expression plus one
+initial state -- is deterministic.  The paper's Appendix B derives all schema
+constraints (``Ord``, ``Past``, ``PastTable``, ``first-past``) from this
+automaton, and the validating SAX layer simulates it to emit punctuation
+events with one transition plus one table lookup per input token.
+
+The construction follows the classic first/last/follow recipe:
+
+* ``first(ρ)``  -- positions that can start a word,
+* ``last(ρ)``   -- positions that can end a word,
+* ``follow(ρ, p)`` -- positions that can immediately follow position ``p``.
+
+State ``0`` is the initial state; every other state corresponds to one
+position and is labelled with that position's symbol (the ``#`` operation of
+the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional as OptionalType, Sequence as SequenceType, Set, Tuple
+
+from repro.dtd.ast import (
+    Choice,
+    ContentParticle,
+    Epsilon,
+    Optional,
+    Plus,
+    Sequence,
+    Star,
+    Symbol,
+)
+from repro.dtd.errors import NotOneUnambiguousError
+
+#: The initial state of every Glushkov automaton.
+INITIAL_STATE = 0
+
+
+@dataclass
+class _Positions:
+    """Book-keeping for the marked regular expression."""
+
+    symbols: List[str] = field(default_factory=list)
+
+    def add(self, name: str) -> int:
+        self.symbols.append(name)
+        return len(self.symbols)
+
+    def symbol_of(self, position: int) -> str:
+        return self.symbols[position - 1]
+
+
+@dataclass
+class _Linearized:
+    """first/last/follow data computed for a sub-particle."""
+
+    nullable: bool
+    first: FrozenSet[int]
+    last: FrozenSet[int]
+
+
+class GlushkovAutomaton:
+    """Deterministic Glushkov automaton of a one-unambiguous content model.
+
+    Attributes
+    ----------
+    states:
+        ``range(0, n+1)`` where ``n`` is the number of positions.
+    transitions:
+        ``transitions[state][symbol] -> state``.
+    accepting:
+        The set of accepting states.
+    """
+
+    def __init__(
+        self,
+        position_symbols: SequenceType[str],
+        transitions: Dict[int, Dict[str, int]],
+        accepting: Set[int],
+    ):
+        self._position_symbols = tuple(position_symbols)
+        self.transitions = transitions
+        self.accepting = frozenset(accepting)
+        self.states = tuple(range(len(position_symbols) + 1))
+        self.alphabet = frozenset(position_symbols)
+
+    # ------------------------------------------------------------ structure
+
+    @property
+    def initial(self) -> int:
+        """The initial state."""
+        return INITIAL_STATE
+
+    def state_symbol(self, state: int) -> OptionalType[str]:
+        """The symbol a (non-initial) state is labelled with (``q#``)."""
+        if state == INITIAL_STATE:
+            return None
+        return self._position_symbols[state - 1]
+
+    def states_labelled(self, symbol: str) -> Tuple[int, ...]:
+        """All states labelled with ``symbol``."""
+        return tuple(
+            state for state in self.states if state != INITIAL_STATE and self.state_symbol(state) == symbol
+        )
+
+    def successors(self, state: int) -> Tuple[int, ...]:
+        """Direct successor states of ``state``."""
+        return tuple(self.transitions.get(state, {}).values())
+
+    # ------------------------------------------------------------ execution
+
+    def step(self, state: int, symbol: str) -> OptionalType[int]:
+        """One DFA transition; ``None`` when the symbol is not allowed here."""
+        return self.transitions.get(state, {}).get(symbol)
+
+    def accepts(self, word: SequenceType[str]) -> bool:
+        """Decide membership of ``word`` in the content model's language."""
+        state = INITIAL_STATE
+        for symbol in word:
+            next_state = self.step(state, symbol)
+            if next_state is None:
+                return False
+            state = next_state
+        return state in self.accepting
+
+    def is_accepting(self, state: int) -> bool:
+        """Whether ``state`` is accepting (the child sequence may stop here)."""
+        return state in self.accepting
+
+    def allowed_symbols(self, state: int) -> FrozenSet[str]:
+        """Symbols with an outgoing transition from ``state``."""
+        return frozenset(self.transitions.get(state, {}))
+
+    def __len__(self) -> int:
+        return len(self.states)
+
+
+def build_glushkov(particle: ContentParticle, *, check_deterministic: bool = True) -> GlushkovAutomaton:
+    """Build the Glushkov automaton of ``particle``.
+
+    Raises :class:`NotOneUnambiguousError` if the expression is not
+    one-unambiguous (i.e. the automaton would not be deterministic) and
+    ``check_deterministic`` is true.
+    """
+    positions = _Positions()
+    follow: Dict[int, Set[int]] = {}
+    info = _linearize(particle, positions, follow)
+
+    transitions: Dict[int, Dict[str, int]] = {INITIAL_STATE: {}}
+    for position in range(1, len(positions.symbols) + 1):
+        transitions[position] = {}
+
+    def add_transition(source: int, target: int) -> None:
+        symbol = positions.symbol_of(target)
+        existing = transitions[source].get(symbol)
+        if existing is not None and existing != target:
+            if check_deterministic:
+                raise NotOneUnambiguousError(
+                    f"content model {particle.to_source()} is not one-unambiguous: "
+                    f"state {source} has two successors for symbol {symbol!r}"
+                )
+            return
+        transitions[source][symbol] = target
+
+    for position in info.first:
+        add_transition(INITIAL_STATE, position)
+    for source, targets in follow.items():
+        for target in targets:
+            add_transition(source, target)
+
+    accepting: Set[int] = set(info.last)
+    if info.nullable:
+        accepting.add(INITIAL_STATE)
+
+    return GlushkovAutomaton(positions.symbols, transitions, accepting)
+
+
+def _linearize(particle: ContentParticle, positions: _Positions, follow: Dict[int, Set[int]]) -> _Linearized:
+    """Recursive first/last/follow computation over the particle AST."""
+    if isinstance(particle, Epsilon):
+        return _Linearized(True, frozenset(), frozenset())
+    if isinstance(particle, Symbol):
+        position = positions.add(particle.name)
+        follow.setdefault(position, set())
+        only = frozenset({position})
+        return _Linearized(False, only, only)
+    if isinstance(particle, Choice):
+        nullable = False
+        first: Set[int] = set()
+        last: Set[int] = set()
+        for item in particle.items:
+            info = _linearize(item, positions, follow)
+            nullable = nullable or info.nullable
+            first |= info.first
+            last |= info.last
+        return _Linearized(nullable, frozenset(first), frozenset(last))
+    if isinstance(particle, Sequence):
+        nullable = True
+        first: Set[int] = set()
+        last: Set[int] = set()
+        previous_last: Set[int] = set()
+        first_fixed = False
+        for item in particle.items:
+            info = _linearize(item, positions, follow)
+            for source in previous_last:
+                follow.setdefault(source, set()).update(info.first)
+            if not first_fixed:
+                first |= info.first
+                if not info.nullable:
+                    first_fixed = True
+            if info.nullable:
+                previous_last = previous_last | info.last
+                last |= info.last
+            else:
+                previous_last = set(info.last)
+                last = set(info.last)
+            nullable = nullable and info.nullable
+        return _Linearized(nullable, frozenset(first), frozenset(last))
+    if isinstance(particle, (Star, Plus)):
+        info = _linearize(particle.inner, positions, follow)
+        for source in info.last:
+            follow.setdefault(source, set()).update(info.first)
+        nullable = True if isinstance(particle, Star) else info.nullable
+        return _Linearized(nullable, info.first, info.last)
+    if isinstance(particle, Optional):
+        info = _linearize(particle.inner, positions, follow)
+        return _Linearized(True, info.first, info.last)
+    raise TypeError(f"not a content particle: {particle!r}")

@@ -1,0 +1,278 @@
+"""Parser for DTD documents.
+
+Supports the subset of DTD syntax the paper uses:
+
+* ``<!ELEMENT name content>`` with content being ``EMPTY``, ``ANY``,
+  ``(#PCDATA)``, mixed content ``(#PCDATA | a | b)*`` or an element content
+  particle built from ``,`` (sequence), ``|`` (choice) and the ``? * +``
+  modifiers,
+* ``<!ATTLIST ...>`` declarations (recorded for information, since the
+  attribute-expansion pass turns attributes into subelements anyway),
+* comments and processing instructions (skipped).
+
+The grammar for element content follows XML 1.0 (children / cp / choice /
+seq), implemented as a small recursive-descent parser.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.dtd.ast import (
+    AnyContent,
+    Choice,
+    ContentParticle,
+    EmptyContent,
+    MixedContent,
+    Optional as OptionalParticle,
+    PCDataContent,
+    Plus,
+    Sequence,
+    Star,
+    Symbol,
+)
+from repro.dtd.errors import DTDSyntaxError
+from repro.dtd.schema import DTD, ElementDeclaration
+
+_NAME_EXTRA = set("_:.-")
+
+
+def _is_name_char(char: str) -> bool:
+    return char.isalnum() or char in _NAME_EXTRA
+
+
+class _Scanner:
+    """Character-level scanner shared by the declaration and content parsers."""
+
+    def __init__(self, text: str):
+        self.text = text
+        self.position = 0
+
+    def eof(self) -> bool:
+        return self.position >= len(self.text)
+
+    def peek(self) -> str:
+        return self.text[self.position] if self.position < len(self.text) else ""
+
+    def skip_whitespace(self) -> None:
+        while not self.eof() and self.text[self.position].isspace():
+            self.position += 1
+
+    def expect(self, literal: str) -> None:
+        if not self.text.startswith(literal, self.position):
+            raise DTDSyntaxError(
+                f"expected {literal!r} at offset {self.position}: "
+                f"...{self.text[self.position:self.position + 20]!r}"
+            )
+        self.position += len(literal)
+
+    def try_consume(self, literal: str) -> bool:
+        if self.text.startswith(literal, self.position):
+            self.position += len(literal)
+            return True
+        return False
+
+    def read_name(self) -> str:
+        start = self.position
+        while not self.eof() and _is_name_char(self.text[self.position]):
+            self.position += 1
+        if start == self.position:
+            raise DTDSyntaxError(f"expected a name at offset {start}")
+        return self.text[start:self.position]
+
+    def skip_until(self, literal: str) -> None:
+        index = self.text.find(literal, self.position)
+        if index == -1:
+            raise DTDSyntaxError(f"unterminated construct, expected {literal!r}")
+        self.position = index + len(literal)
+
+
+def parse_content_model(source: str):
+    """Parse the content part of an ``<!ELEMENT>`` declaration."""
+    scanner = _Scanner(source.strip())
+    model = _parse_content(scanner)
+    scanner.skip_whitespace()
+    if not scanner.eof():
+        raise DTDSyntaxError(f"trailing characters in content model: {scanner.text[scanner.position:]!r}")
+    return model
+
+
+def _parse_content(scanner: _Scanner):
+    scanner.skip_whitespace()
+    if scanner.try_consume("EMPTY"):
+        return EmptyContent()
+    if scanner.try_consume("ANY"):
+        return AnyContent()
+    if scanner.peek() != "(":
+        raise DTDSyntaxError(f"content model must start with '(' or be EMPTY/ANY: {scanner.text!r}")
+    # Lookahead for mixed content.
+    saved = scanner.position
+    scanner.expect("(")
+    scanner.skip_whitespace()
+    if scanner.try_consume("#PCDATA"):
+        return _parse_mixed_tail(scanner)
+    scanner.position = saved
+    particle = _parse_cp(scanner)
+    return particle
+
+
+def _parse_mixed_tail(scanner: _Scanner):
+    names: List[str] = []
+    while True:
+        scanner.skip_whitespace()
+        if scanner.try_consume(")"):
+            break
+        scanner.expect("|")
+        scanner.skip_whitespace()
+        names.append(scanner.read_name())
+    has_star = scanner.try_consume("*")
+    if names and not has_star:
+        raise DTDSyntaxError("mixed content with element names must end in ')*'")
+    if not names:
+        return PCDataContent()
+    return MixedContent(tuple(names))
+
+
+def _parse_cp(scanner: _Scanner) -> ContentParticle:
+    """Parse a content particle: name or parenthesised group, plus modifier."""
+    scanner.skip_whitespace()
+    if scanner.try_consume("("):
+        particle = _parse_group(scanner)
+    else:
+        particle = Symbol(scanner.read_name())
+    return _apply_modifier(scanner, particle)
+
+
+def _parse_group(scanner: _Scanner) -> ContentParticle:
+    """Parse the inside of a parenthesised group (after the opening '(')."""
+    items = [_parse_cp(scanner)]
+    scanner.skip_whitespace()
+    separator: Optional[str] = None
+    while not scanner.try_consume(")"):
+        if scanner.try_consume(","):
+            current = ","
+        elif scanner.try_consume("|"):
+            current = "|"
+        else:
+            raise DTDSyntaxError(
+                f"expected ',', '|' or ')' at offset {scanner.position} in content model"
+            )
+        if separator is None:
+            separator = current
+        elif separator != current:
+            raise DTDSyntaxError("cannot mix ',' and '|' at the same nesting level")
+        items.append(_parse_cp(scanner))
+        scanner.skip_whitespace()
+    if len(items) == 1:
+        return items[0]
+    if separator == "|":
+        return Choice(items)
+    return Sequence(items)
+
+
+def _apply_modifier(scanner: _Scanner, particle: ContentParticle) -> ContentParticle:
+    if scanner.try_consume("*"):
+        return Star(particle)
+    if scanner.try_consume("+"):
+        return Plus(particle)
+    if scanner.try_consume("?"):
+        return OptionalParticle(particle)
+    return particle
+
+
+def parse_dtd(source: str) -> DTD:
+    """Parse a DTD document into a :class:`~repro.dtd.schema.DTD`."""
+    scanner = _Scanner(source)
+    declarations: List[ElementDeclaration] = []
+    attlists: Dict[str, Tuple[str, ...]] = {}
+    while True:
+        scanner.skip_whitespace()
+        if scanner.eof():
+            break
+        if scanner.try_consume("<!--"):
+            scanner.skip_until("-->")
+            continue
+        if scanner.try_consume("<?"):
+            scanner.skip_until("?>")
+            continue
+        if scanner.try_consume("<!ELEMENT"):
+            scanner.skip_whitespace()
+            name = scanner.read_name()
+            scanner.skip_whitespace()
+            end = scanner.text.find(">", scanner.position)
+            if end == -1:
+                raise DTDSyntaxError(f"unterminated <!ELEMENT {name} ...>")
+            content_source = scanner.text[scanner.position:end]
+            scanner.position = end + 1
+            declarations.append(ElementDeclaration(name, parse_content_model(content_source)))
+            continue
+        if scanner.try_consume("<!ATTLIST"):
+            scanner.skip_whitespace()
+            name = scanner.read_name()
+            end = scanner.text.find(">", scanner.position)
+            if end == -1:
+                raise DTDSyntaxError(f"unterminated <!ATTLIST {name} ...>")
+            body = scanner.text[scanner.position:end]
+            scanner.position = end + 1
+            attribute_names = _attribute_names(body)
+            existing = attlists.get(name, ())
+            attlists[name] = existing + tuple(a for a in attribute_names if a not in existing)
+            continue
+        if scanner.try_consume("<!ENTITY") or scanner.try_consume("<!NOTATION"):
+            scanner.skip_until(">")
+            continue
+        raise DTDSyntaxError(
+            f"unexpected content at offset {scanner.position}: "
+            f"{scanner.text[scanner.position:scanner.position + 30]!r}"
+        )
+    return DTD(declarations, attlists=attlists)
+
+
+def _attribute_names(attlist_body: str) -> List[str]:
+    """Extract attribute names from the body of an ``<!ATTLIST>`` declaration.
+
+    The body is a sequence of ``name type default`` triples; we only keep the
+    names.  Declared defaults in quotes may contain whitespace, so quoted
+    regions are skipped as single tokens.
+    """
+    tokens: List[str] = []
+    i = 0
+    text = attlist_body
+    while i < len(text):
+        char = text[i]
+        if char.isspace():
+            i += 1
+            continue
+        if char in "\"'":
+            end = text.find(char, i + 1)
+            if end == -1:
+                raise DTDSyntaxError("unterminated quoted value in <!ATTLIST>")
+            tokens.append(text[i:end + 1])
+            i = end + 1
+            continue
+        if char == "(":
+            end = text.find(")", i + 1)
+            if end == -1:
+                raise DTDSyntaxError("unterminated enumeration in <!ATTLIST>")
+            tokens.append(text[i:end + 1])
+            i = end + 1
+            continue
+        start = i
+        while i < len(text) and not text[i].isspace():
+            i += 1
+        tokens.append(text[start:i])
+    names: List[str] = []
+    index = 0
+    while index + 1 < len(tokens):
+        name = tokens[index]
+        names.append(name)
+        # Skip the type token (possibly an enumeration) and the default
+        # declaration, which is either #REQUIRED/#IMPLIED or #FIXED "v" / "v".
+        index += 2
+        if index < len(tokens) and tokens[index] == "#FIXED":
+            index += 2
+        elif index < len(tokens) and (tokens[index].startswith('"') or tokens[index].startswith("'")):
+            index += 1
+        elif index < len(tokens) and tokens[index] in ("#REQUIRED", "#IMPLIED"):
+            index += 1
+    return names

@@ -1,0 +1,194 @@
+"""The DTD object model.
+
+A :class:`DTD` maps element names to :class:`ElementDeclaration` objects and
+lazily derives, per element, the Glushkov automaton and the
+:class:`~repro.dtd.constraints.OrderConstraints` that the scheduler and the
+runtime engine consume.
+
+DTDs are *local tree grammars*: the production used for an element is
+determined by its tag name alone, which is why a single dictionary suffices.
+The document root is not declared in a DTD; the engine introduces a virtual
+``#ROOT`` element whose content model is exactly one occurrence of the chosen
+root element (see :meth:`DTD.with_root`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Tuple
+
+from repro.dtd.ast import (
+    AnyContent,
+    Choice,
+    ContentParticle,
+    EmptyContent,
+    Epsilon,
+    MixedContent,
+    PCDataContent,
+    Star,
+    Symbol,
+    symbols_of,
+)
+from repro.dtd.constraints import OrderConstraints
+from repro.dtd.errors import DTDError, UnknownElementError
+from repro.dtd.glushkov import GlushkovAutomaton, build_glushkov
+
+#: Name of the virtual element wrapping the document root.
+ROOT_ELEMENT = "#ROOT"
+
+
+@dataclass(frozen=True)
+class ElementDeclaration:
+    """One ``<!ELEMENT name content>`` declaration.
+
+    ``content`` is either a :class:`~repro.dtd.ast.ContentParticle` or one of
+    the special kinds (``EMPTY``, ``ANY``, ``(#PCDATA)``, mixed content).
+    """
+
+    name: str
+    content: object
+
+    @property
+    def allows_text(self) -> bool:
+        """Whether character data may appear among the children."""
+        return isinstance(self.content, (AnyContent, PCDataContent, MixedContent))
+
+    @property
+    def is_element_only(self) -> bool:
+        """Whether the element has pure element content (a regular expression)."""
+        return isinstance(self.content, ContentParticle)
+
+    def to_source(self) -> str:
+        """Render the declaration in DTD syntax."""
+        if isinstance(self.content, ContentParticle):
+            body = self.content.to_source()
+        else:
+            body = self.content.to_source()
+        return f"<!ELEMENT {self.name} {body}>"
+
+
+class DTD:
+    """A parsed DTD with cached constraint information per element."""
+
+    def __init__(self, declarations: Iterable[ElementDeclaration], *, attlists: Optional[Mapping[str, Tuple[str, ...]]] = None):
+        self._declarations: Dict[str, ElementDeclaration] = {}
+        for declaration in declarations:
+            if declaration.name in self._declarations:
+                raise DTDError(f"element {declaration.name!r} declared twice")
+            self._declarations[declaration.name] = declaration
+        self._attlists: Dict[str, Tuple[str, ...]] = dict(attlists or {})
+        self._automata: Dict[str, GlushkovAutomaton] = {}
+        self._constraints: Dict[str, OrderConstraints] = {}
+        self._root: Optional[str] = None
+
+    # ------------------------------------------------------------ structure
+
+    @property
+    def element_names(self) -> Tuple[str, ...]:
+        """All declared element names, in declaration order."""
+        return tuple(name for name in self._declarations if name != ROOT_ELEMENT)
+
+    @property
+    def root_element(self) -> Optional[str]:
+        """The document root element, if one was attached via :meth:`with_root`."""
+        return self._root
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._declarations
+
+    def declaration(self, name: str) -> ElementDeclaration:
+        """The declaration of ``name``; raises :class:`UnknownElementError`."""
+        try:
+            return self._declarations[name]
+        except KeyError:
+            raise UnknownElementError(f"element {name!r} is not declared in the DTD") from None
+
+    def attributes_of(self, name: str) -> Tuple[str, ...]:
+        """Attribute names declared for ``name`` via ``<!ATTLIST>`` (informational)."""
+        return self._attlists.get(name, ())
+
+    def with_root(self, root_name: str) -> "DTD":
+        """Return a copy of this DTD extended with the virtual ``#ROOT`` element.
+
+        The virtual root has content model "exactly one ``root_name``", which
+        is what gives the scheduler the (trivially true) order and cardinality
+        constraints for the document element itself.
+        """
+        if root_name not in self._declarations:
+            raise UnknownElementError(f"root element {root_name!r} is not declared in the DTD")
+        declarations = list(self._declarations.values())
+        declarations = [decl for decl in declarations if decl.name != ROOT_ELEMENT]
+        declarations.append(ElementDeclaration(ROOT_ELEMENT, Symbol(root_name)))
+        copy = DTD(declarations, attlists=self._attlists)
+        copy._root = root_name
+        return copy
+
+    # ---------------------------------------------------------- constraints
+
+    def content_particle(self, name: str) -> ContentParticle:
+        """The element's content model lowered to a plain regular expression."""
+        declaration = self.declaration(name)
+        content = declaration.content
+        if isinstance(content, ContentParticle):
+            return content
+        if isinstance(content, (EmptyContent, PCDataContent)):
+            return Epsilon()
+        if isinstance(content, MixedContent):
+            if not content.names:
+                return Epsilon()
+            return Star(Choice([Symbol(child) for child in content.names]))
+        if isinstance(content, AnyContent):
+            names = [child for child in self.element_names]
+            if not names:
+                return Epsilon()
+            return Star(Choice([Symbol(child) for child in names]))
+        raise TypeError(f"unsupported content model for {name!r}: {content!r}")
+
+    def symbols(self, name: str) -> FrozenSet[str]:
+        """``symb($x)`` -- tag names that may occur among the children of ``name``."""
+        declaration = self.declaration(name)
+        if isinstance(declaration.content, AnyContent):
+            return frozenset(self.element_names)
+        if isinstance(declaration.content, ContentParticle):
+            return declaration.content.symbols()
+        return symbols_of(declaration.content)
+
+    def automaton(self, name: str) -> GlushkovAutomaton:
+        """The (cached) Glushkov automaton of the element's content model."""
+        if name not in self._automata:
+            self._automata[name] = build_glushkov(self.content_particle(name))
+        return self._automata[name]
+
+    def constraints(self, name: str) -> OrderConstraints:
+        """The (cached) :class:`OrderConstraints` of the element's content model."""
+        if name not in self._constraints:
+            self._constraints[name] = OrderConstraints(self.automaton(name))
+        return self._constraints[name]
+
+    def ord(self, element: str, first: str, second: str) -> bool:
+        """``Ord_element(first, second)`` convenience accessor."""
+        return self.constraints(element).ord(first, second)
+
+    def allows_text(self, name: str) -> bool:
+        """Whether character data may occur directly below ``name``.
+
+        Unknown elements are treated permissively (text allowed); the
+        validator reports them separately.
+        """
+        if name not in self._declarations:
+            return True
+        return self.declaration(name).allows_text
+
+    # -------------------------------------------------------------- output
+
+    def to_source(self) -> str:
+        """Render the whole DTD in ``<!ELEMENT ...>`` syntax."""
+        lines: List[str] = []
+        for declaration in self._declarations.values():
+            if declaration.name == ROOT_ELEMENT:
+                continue
+            lines.append(declaration.to_source())
+        return "\n".join(lines) + "\n"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"DTD({', '.join(self.element_names)})"

@@ -1,0 +1,49 @@
+"""The streaming FluX query engine (Section 5 of the paper).
+
+The engine compiles a safe FluX query (plus the DTD it was scheduled
+against) into a network of per-variable *evaluators* and then drives that
+network with the SAX-style events of the input stream:
+
+* ``on`` handlers either open a nested evaluator scope (processing the
+  child's children incrementally) or copy the child's subtree straight to
+  the output,
+* ``on-first past(S)`` handlers are triggered by punctuation derived from one
+  Glushkov-automaton transition per child (Appendix B) and execute their
+  XQuery⁻ bodies over main-memory buffers,
+* buffers hold exactly the projection of the input determined by the
+  buffer-path analysis Π and the pruned buffer trees of Section 5,
+* path-versus-constant conditions on streaming variables are evaluated on
+  the fly and only occupy a per-scope flag/value slot.
+
+Public entry point: :class:`repro.engine.engine.FluxEngine` (re-exported from
+:mod:`repro.core`).
+"""
+
+from repro.engine.buffers import BufferManager, EventBuffer
+from repro.engine.projection import (
+    BufferTreeNode,
+    buffer_paths,
+    buffer_tree_for_variable,
+    buffer_trees,
+    condition_value_paths,
+)
+from repro.engine.plan import QueryPlan, compile_plan
+from repro.engine.executor import ExecutionResult, StreamExecutor
+from repro.engine.engine import FluxEngine
+from repro.engine.stats import RunStatistics
+
+__all__ = [
+    "BufferManager",
+    "BufferTreeNode",
+    "EventBuffer",
+    "ExecutionResult",
+    "FluxEngine",
+    "QueryPlan",
+    "RunStatistics",
+    "StreamExecutor",
+    "buffer_paths",
+    "buffer_tree_for_variable",
+    "buffer_trees",
+    "compile_plan",
+    "condition_value_paths",
+]

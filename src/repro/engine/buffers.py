@@ -1,0 +1,120 @@
+"""SAX-event buffers with byte/event accounting.
+
+Buffers are plain lists of events (Section 5: "Buffers are implemented as
+lists of SAX events"); every append/clear is reported to the shared
+:class:`BufferManager`, which maintains the current and peak totals used by
+the benchmark harness and by the zero-buffering assertions in the tests.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from repro.engine.stats import RunStatistics
+from repro.xmlstream.events import Event
+from repro.xmlstream.tree import XMLNode, events_to_tree
+
+
+class BufferManager:
+    """Tracks aggregate buffer usage across all live buffers of one run."""
+
+    def __init__(self, stats: Optional[RunStatistics] = None):
+        self.stats = stats or RunStatistics()
+        self._live_buffers = 0
+
+    def create_buffer(self, name: str = "") -> "EventBuffer":
+        """Create a new, empty buffer registered with this manager."""
+        self._live_buffers += 1
+        return EventBuffer(self, name=name)
+
+    @property
+    def live_buffers(self) -> int:
+        """Number of buffers created and not yet released."""
+        return self._live_buffers
+
+    def _notify_append(self, count: int, cost: int) -> None:
+        self.stats.record_buffered(count, cost)
+
+    def _notify_release(self, count: int, cost: int) -> None:
+        self.stats.record_freed(count, cost)
+        self._live_buffers -= 1
+
+
+class EventBuffer:
+    """A list of SAX events belonging to one variable scope."""
+
+    def __init__(self, manager: BufferManager, name: str = ""):
+        self._manager = manager
+        self._events: List[Event] = []
+        self._cost = 0
+        self._released = False
+        self.name = name
+
+    # -------------------------------------------------------------- access
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self):
+        return iter(self._events)
+
+    @property
+    def events(self) -> List[Event]:
+        """The buffered events (read-only view by convention)."""
+        return self._events
+
+    @property
+    def cost_bytes(self) -> int:
+        """Approximate memory footprint of the buffered events."""
+        return self._cost
+
+    # ------------------------------------------------------------ mutation
+
+    def append(self, event: Event) -> None:
+        """Append one event."""
+        if self._released:
+            raise RuntimeError(f"buffer {self.name!r} was already released")
+        self._events.append(event)
+        cost = event.cost_in_bytes()
+        self._cost += cost
+        self._manager._notify_append(1, cost)
+
+    def extend(self, events: Iterable[Event]) -> None:
+        """Append several events."""
+        for event in events:
+            self.append(event)
+
+    def release(self) -> None:
+        """Free the buffer (when its variable scope ends)."""
+        if self._released:
+            return
+        self._released = True
+        self._manager._notify_release(len(self._events), self._cost)
+        self._events = []
+        self._cost = 0
+
+    # ---------------------------------------------------------- conversion
+
+    def to_tree(self, wrapper_name: str) -> XMLNode:
+        """Materialise the buffered forest under a wrapper node.
+
+        Used when an ``on-first`` handler body navigates the buffer with
+        fixed paths.  The wrapper carries the name of the scope's element so
+        that relative paths behave as if they navigated the original
+        element.
+        """
+        root = events_to_tree(self._events)
+        if root is None:
+            return XMLNode(wrapper_name)
+        if root.name == "#fragment":
+            return XMLNode(wrapper_name, list(root.children))
+        return XMLNode(wrapper_name, [root])
+
+    def to_single_node(self) -> Optional[XMLNode]:
+        """Materialise a buffer that captured one complete element (root-marked).
+
+        Returns ``None`` for an empty buffer; if the buffer happens to contain
+        a forest, the ``#fragment`` wrapper produced by
+        :func:`~repro.xmlstream.tree.events_to_tree` is returned as is.
+        """
+        return events_to_tree(self._events)

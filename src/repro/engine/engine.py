@@ -1,0 +1,132 @@
+"""High-level FluX engine facade.
+
+:class:`FluxEngine` bundles the whole pipeline of the paper:
+
+1. parse the XQuery⁻ query,
+2. normalise it (Figure 1) and apply the Section-7 simplifications,
+3. schedule it into a safe FluX query using the DTD (Figure 2),
+4. compile the FluX query into an executable plan (buffer trees, handlers,
+   punctuation tables),
+5. execute the plan over a streaming document, producing the result and the
+   memory/time statistics.
+
+The engine can equally be constructed from an already-built FluX query
+(hand-written or produced elsewhere); it then starts at step 4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from repro.dtd.schema import DTD, ROOT_ELEMENT
+from repro.engine.executor import ExecutionResult, StreamExecutor
+from repro.engine.plan import QueryPlan, compile_plan
+from repro.flux.ast import FluxExpr
+from repro.flux.rewrite import RewriteResult, rewrite_to_flux
+from repro.xmlstream.events import Event
+from repro.xmlstream.parser import DocumentSource, iter_events
+from repro.xquery.ast import ROOT_VARIABLE, XQExpr
+from repro.xquery.parser import parse_query
+
+
+@dataclass
+class FluxRunResult:
+    """Result of running a query: output text (optional) plus statistics."""
+
+    output: Optional[str]
+    stats: "RunStatistics"
+
+    @property
+    def peak_buffered_events(self) -> int:
+        """Convenience accessor used throughout the examples and benches."""
+        return self.stats.peak_buffered_events
+
+    @property
+    def peak_buffered_bytes(self) -> int:
+        """Convenience accessor used throughout the examples and benches."""
+        return self.stats.peak_buffered_bytes
+
+
+from repro.engine.stats import RunStatistics  # noqa: E402  (documented forward ref)
+
+
+class FluxEngine:
+    """Compile once, execute many times.
+
+    Parameters
+    ----------
+    query:
+        XQuery⁻ source text, a parsed :class:`~repro.xquery.ast.XQExpr`, or a
+        ready-made :class:`~repro.flux.ast.FluxExpr`.
+    dtd:
+        The DTD the input documents conform to.  If it has no virtual root
+        yet, ``root_element`` must name the document element.
+    root_element:
+        Name of the document element (defaults to the DTD's attached root).
+    """
+
+    def __init__(
+        self,
+        query: Union[str, XQExpr, FluxExpr],
+        dtd: DTD,
+        *,
+        root_element: Optional[str] = None,
+        root_var: str = ROOT_VARIABLE,
+        apply_simplifications: bool = True,
+        require_safe: bool = True,
+    ):
+        if ROOT_ELEMENT not in dtd:
+            if root_element is None:
+                root_element = dtd.root_element
+            if root_element is None:
+                raise ValueError(
+                    "the DTD does not declare a document root; pass root_element=..."
+                )
+            dtd = dtd.with_root(root_element)
+        self.dtd = dtd
+        self.root_var = root_var
+        self.rewrite_result: Optional[RewriteResult] = None
+
+        if isinstance(query, FluxExpr):
+            flux = query
+        else:
+            expr = parse_query(query) if isinstance(query, str) else query
+            self.rewrite_result = rewrite_to_flux(
+                expr,
+                dtd,
+                root_var=root_var,
+                apply_simplifications=apply_simplifications,
+            )
+            flux = self.rewrite_result.flux
+        self.flux = flux
+        self.plan: QueryPlan = compile_plan(flux, dtd, root_var=root_var, require_safe=require_safe)
+
+    # ----------------------------------------------------------- inspection
+
+    def flux_source(self) -> str:
+        """The scheduled FluX query in concrete syntax."""
+        return self.flux.to_source()
+
+    def describe_buffers(self) -> str:
+        """Human-readable buffer trees (what the engine will buffer)."""
+        return self.plan.describe_buffers()
+
+    # ------------------------------------------------------------ execution
+
+    def run(
+        self,
+        document: DocumentSource,
+        *,
+        collect_output: bool = True,
+        expand_attrs: bool = False,
+    ) -> FluxRunResult:
+        """Execute the query over a document (text, path, file object, chunks)."""
+        events = iter_events(document, expand_attrs=expand_attrs)
+        return self.run_events(events, collect_output=collect_output)
+
+    def run_events(self, events, *, collect_output: bool = True) -> FluxRunResult:
+        """Execute the query over an already-parsed event iterable."""
+        executor = StreamExecutor(self.plan, collect_output=collect_output)
+        result: ExecutionResult = executor.run(events)
+        return FluxRunResult(output=result.output, stats=result.stats)

@@ -1,0 +1,426 @@
+"""The streaming executor.
+
+The executor drives a :class:`~repro.engine.plan.QueryPlan` with the events
+of the input document.  It maintains one frame per open element; a frame
+records
+
+* the evaluator scopes opened *at* that element (by ``on a as $x`` handlers
+  of the parent scope),
+* whether the element lies inside a region that is being copied to the
+  output,
+* which buffers capture the element's events (full subtrees below marked
+  buffer-tree nodes, tags only along unmarked buffer-tree paths),
+* which condition values are being accumulated,
+* ``on-first`` handlers of the parent scope that fired on this child and must
+  execute when the child is complete.
+
+Per child of an active scope, exactly one Glushkov transition and one
+PastTable lookup per watched symbol set are performed -- the cheap
+punctuation mechanism of Appendix B.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.dtd.glushkov import INITIAL_STATE
+from repro.engine.buffers import BufferManager, EventBuffer
+from repro.engine.plan import (
+    CompiledOn,
+    CompiledOnFirst,
+    QueryPlan,
+    ScopeSpec,
+    StreamCopyAction,
+    ValueTrieNode,
+)
+from repro.engine.projection import BufferTreeNode
+from repro.engine.stats import RunStatistics
+from repro.engine.xquery_exec import (
+    RuntimeEnvironment,
+    ScopeBinding,
+    evaluate_condition_runtime,
+    execute_expression,
+)
+from repro.xmlstream.events import (
+    Characters,
+    EndDocument,
+    EndElement,
+    Event,
+    StartDocument,
+    StartElement,
+)
+from repro.xmlstream.serializer import serialize_event, serialize_events
+from repro.xmlstream.tree import XMLNode
+from repro.xquery.ast import Condition
+
+Path = Tuple[str, ...]
+
+
+# ---------------------------------------------------------------------------
+# Output
+
+
+class OutputSink:
+    """Collects (or discards) the produced output while counting its size."""
+
+    def __init__(self, stats: RunStatistics, *, collect: bool = True):
+        self._stats = stats
+        self._parts: Optional[List[str]] = [] if collect else None
+
+    def write_text(self, text: str) -> None:
+        """Emit a fixed string (already-serialized markup)."""
+        if not text:
+            return
+        self._stats.record_output(0, len(text))
+        if self._parts is not None:
+            self._parts.append(text)
+
+    def write_event(self, event: Event) -> None:
+        """Emit one SAX event."""
+        rendered = serialize_event(event)
+        self._stats.record_output(1, len(rendered))
+        if self._parts is not None:
+            self._parts.append(rendered)
+
+    def write_events(self, events: Iterable[Event]) -> None:
+        """Emit a sequence of SAX events."""
+        for event in events:
+            self.write_event(event)
+
+    def write_node(self, node: XMLNode) -> None:
+        """Emit a whole subtree."""
+        events = node.to_events()
+        rendered = serialize_events(events)
+        self._stats.record_output(len(events), len(rendered))
+        if self._parts is not None:
+            self._parts.append(rendered)
+
+    def text(self) -> Optional[str]:
+        """The collected output, or ``None`` when collection is disabled."""
+        if self._parts is None:
+            return None
+        return "".join(self._parts)
+
+
+@dataclass
+class ExecutionResult:
+    """Outcome of one streaming run."""
+
+    output: Optional[str]
+    stats: RunStatistics
+
+
+# ---------------------------------------------------------------------------
+# Runtime state
+
+
+class _ValueAccumulator:
+    """Collects the text content of one matched condition-path element."""
+
+    __slots__ = ("activation", "path", "parts")
+
+    def __init__(self, activation: "ScopeActivation", path: Path):
+        self.activation = activation
+        self.path = path
+        self.parts: List[str] = []
+
+    def add(self, text: str) -> None:
+        self.parts.append(text)
+
+    def finish(self, stats: RunStatistics) -> None:
+        value = "".join(self.parts)
+        store = self.activation.value_store.setdefault(self.path, [])
+        store.append(value)
+        self.activation.condition_bytes += len(value)
+        stats.record_condition_bytes(len(value))
+
+
+class ScopeActivation:
+    """One live instance of a ``process-stream`` scope."""
+
+    __slots__ = (
+        "spec",
+        "element_name",
+        "dfa_state",
+        "fired",
+        "buffer",
+        "value_store",
+        "binding",
+        "condition_bytes",
+    )
+
+    def __init__(self, spec: ScopeSpec, element_name: str, buffer: Optional[EventBuffer]):
+        self.spec = spec
+        self.element_name = element_name
+        self.dfa_state: Optional[int] = INITIAL_STATE if spec.automaton is not None else None
+        self.fired: set = set()
+        self.buffer = buffer
+        self.value_store: Dict[Path, List[str]] = {}
+        self.condition_bytes = 0
+        self.binding = ScopeBinding(
+            spec.var,
+            element_name,
+            buffer=buffer,
+            buffer_tree=spec.buffer_tree,
+            value_store=self.value_store,
+        )
+
+
+@dataclass
+class _Frame:
+    """Per-open-element execution state."""
+
+    name: str
+    scopes: List[ScopeActivation] = field(default_factory=list)
+    copy_active: bool = False
+    copy_suffix: List = field(default_factory=list)
+    pending_on_first: List[Tuple[ScopeActivation, CompiledOnFirst]] = field(default_factory=list)
+    subtree_sinks: List[EventBuffer] = field(default_factory=list)
+    tags_only: List[EventBuffer] = field(default_factory=list)
+    buffer_positions: List[Tuple[ScopeActivation, BufferTreeNode]] = field(default_factory=list)
+    value_positions: List[Tuple[ScopeActivation, ValueTrieNode]] = field(default_factory=list)
+    value_accumulators: List[_ValueAccumulator] = field(default_factory=list)
+    value_closers: List[_ValueAccumulator] = field(default_factory=list)
+
+
+# ---------------------------------------------------------------------------
+# The executor
+
+
+class StreamExecutor:
+    """Executes a compiled plan over an event stream."""
+
+    def __init__(
+        self,
+        plan: QueryPlan,
+        *,
+        collect_output: bool = True,
+        stats: Optional[RunStatistics] = None,
+    ):
+        self.plan = plan
+        self.stats = stats or RunStatistics()
+        self.sink = OutputSink(self.stats, collect=collect_output)
+        self.buffers = BufferManager(self.stats)
+        self._stack: List[_Frame] = []
+        self._active_scopes: Dict[str, List[ScopeActivation]] = {}
+
+    # ------------------------------------------------------------------ API
+
+    def run(self, events: Iterable[Event]) -> ExecutionResult:
+        """Consume the event stream and produce the query result."""
+        started = time.perf_counter()
+        self.sink.write_text(self.plan.pre)
+
+        root_frame = _Frame(name="#ROOT")
+        self._stack.append(root_frame)
+        self._open_scope(self.plan.root_scope, "#ROOT", root_frame)
+
+        for event in events:
+            if isinstance(event, (StartDocument, EndDocument)):
+                continue
+            self.stats.record_input(1, event.cost_in_bytes())
+            if isinstance(event, StartElement):
+                self._start_element(event)
+            elif isinstance(event, EndElement):
+                self._end_element(event)
+            elif isinstance(event, Characters):
+                self._characters(event)
+            else:  # pragma: no cover - exhaustive over the event model
+                raise TypeError(f"not an XML event: {event!r}")
+
+        # End of stream: close the virtual root scope (fires e.g. the final
+        # "on-first past(<document element>)" handlers).
+        root_frame = self._stack.pop()
+        for activation in root_frame.scopes:
+            self._finish_scope(activation)
+        if self._stack:
+            raise ValueError("unbalanced input stream: elements left open")
+
+        self.sink.write_text(self.plan.post)
+        self.stats.elapsed_seconds = time.perf_counter() - started
+        return ExecutionResult(output=self.sink.text(), stats=self.stats)
+
+    # ------------------------------------------------------------ internals
+
+    def _runtime_environment(self) -> RuntimeEnvironment:
+        bindings = {
+            var: activations[-1].binding
+            for var, activations in self._active_scopes.items()
+            if activations
+        }
+        return RuntimeEnvironment(bindings)
+
+    def _evaluate_condition(self, condition: Condition) -> bool:
+        return evaluate_condition_runtime(condition, self._runtime_environment())
+
+    def _execute_handler_body(self, body) -> None:
+        self.stats.handler_executions += 1
+        execute_expression(body, self._runtime_environment(), self.sink)
+
+    # ------------------------------------------------------- scope lifecycle
+
+    def _open_scope(self, spec: ScopeSpec, element_name: str, frame: _Frame) -> ScopeActivation:
+        buffer = self.buffers.create_buffer(spec.var) if spec.needs_buffer else None
+        activation = ScopeActivation(spec, element_name, buffer)
+        frame.scopes.append(activation)
+        self._active_scopes.setdefault(spec.var, []).append(activation)
+
+        if buffer is not None:
+            if spec.root_marked:
+                # The scope element itself is buffered (``{$x}`` is output):
+                # capture its start tag now and its whole subtree via the
+                # frame's subtree sinks.
+                buffer.append(StartElement(element_name))
+                frame.subtree_sinks.append(buffer)
+            elif spec.buffer_tree is not None:
+                frame.buffer_positions.append((activation, spec.buffer_tree))
+        if spec.value_trie is not None:
+            frame.value_positions.append((activation, spec.value_trie))
+
+        # i = 0 scan: handlers whose past set is already satisfied fire now.
+        for handler in spec.handlers:
+            if isinstance(handler, CompiledOnFirst) and handler.fires_initially():
+                activation.fired.add(handler.index)
+                self._execute_handler_body(handler.body)
+        return activation
+
+    def _finish_scope(self, activation: ScopeActivation) -> None:
+        # i = n+1 scan: handlers that have not fired yet fire at end-of-children.
+        for handler in activation.spec.handlers:
+            if isinstance(handler, CompiledOnFirst) and handler.index not in activation.fired:
+                activation.fired.add(handler.index)
+                self._execute_handler_body(handler.body)
+        stack = self._active_scopes.get(activation.spec.var)
+        if stack and stack[-1] is activation:
+            stack.pop()
+        if activation.buffer is not None:
+            activation.buffer.release()
+        if activation.condition_bytes:
+            self.stats.record_condition_bytes(-activation.condition_bytes)
+            activation.condition_bytes = 0
+
+    # --------------------------------------------------------- event handling
+
+    def _start_element(self, event: StartElement) -> None:
+        name = event.name
+        parent = self._stack[-1]
+        frame = _Frame(name=name)
+        frame.copy_active = parent.copy_active
+        frame.subtree_sinks = list(parent.subtree_sinks)
+        frame.value_accumulators = list(parent.value_accumulators)
+
+        # Events inside fully-captured (marked) regions.
+        for sink in frame.subtree_sinks:
+            sink.append(event)
+
+        # Buffer-tree matching against the parent's capture positions.
+        for activation, node in parent.buffer_positions:
+            child = node.children.get(name)
+            if child is None:
+                continue
+            activation.buffer.append(StartElement(name))
+            if child.marked:
+                frame.subtree_sinks.append(activation.buffer)
+            else:
+                frame.tags_only.append(activation.buffer)
+                if child.children:
+                    frame.buffer_positions.append((activation, child))
+
+        # Condition-value matching.
+        for activation, node in parent.value_positions:
+            child = node.children.get(name)
+            if child is None:
+                continue
+            if child.terminal_path is not None:
+                accumulator = _ValueAccumulator(activation, child.terminal_path)
+                frame.value_accumulators.append(accumulator)
+                frame.value_closers.append(accumulator)
+            if child.children:
+                frame.value_positions.append((activation, child))
+
+        # Handler dispatch for every scope whose children we are processing.
+        for activation in parent.scopes:
+            self._dispatch_child(activation, name, frame)
+
+        if frame.copy_active:
+            self.sink.write_event(event)
+
+        self._stack.append(frame)
+
+    def _dispatch_child(self, activation: ScopeActivation, name: str, frame: _Frame) -> None:
+        spec = activation.spec
+        previous_state = activation.dfa_state
+        new_state = None
+        if spec.automaton is not None and previous_state is not None:
+            new_state = spec.automaton.step(previous_state, name)
+            activation.dfa_state = new_state
+
+        for handler in spec.handlers:
+            if isinstance(handler, CompiledOnFirst):
+                if handler.index in activation.fired or handler.past_table is None:
+                    continue
+                if previous_state is None or new_state is None:
+                    continue
+                if handler.past_table.get(new_state, False) and not handler.past_table.get(
+                    previous_state, False
+                ):
+                    activation.fired.add(handler.index)
+                    frame.pending_on_first.append((activation, handler))
+            elif isinstance(handler, CompiledOn):
+                if handler.label != name:
+                    continue
+                if handler.nested is not None:
+                    self._open_scope(handler.nested, name, frame)
+                else:
+                    self._apply_stream_copy(handler.copy, frame)
+
+    def _apply_stream_copy(self, action: StreamCopyAction, frame: _Frame) -> None:
+        for part in action.prefix:
+            if part.condition is None or self._evaluate_condition(part.condition):
+                self.sink.write_text(part.text)
+        if action.copy_var is not None:
+            allowed = action.copy_condition is None or self._evaluate_condition(action.copy_condition)
+            if allowed:
+                frame.copy_active = True
+        if action.suffix:
+            frame.copy_suffix.extend(action.suffix)
+
+    def _characters(self, event: Characters) -> None:
+        frame = self._stack[-1]
+        for sink in frame.subtree_sinks:
+            sink.append(event)
+        for accumulator in frame.value_accumulators:
+            accumulator.add(event.text)
+        if frame.copy_active:
+            self.sink.write_event(event)
+
+    def _end_element(self, event: EndElement) -> None:
+        frame = self._stack.pop()
+        name = event.name
+
+        # 1. Close captures: the end tag belongs to every full-subtree sink and
+        #    to every tags-only capture opened for this element.
+        for sink in frame.subtree_sinks:
+            sink.append(event)
+        for buffer in frame.tags_only:
+            buffer.append(EndElement(name))
+        for accumulator in frame.value_closers:
+            accumulator.finish(self.stats)
+
+        # 2. Scopes opened at this element reach their end-of-children point.
+        for activation in frame.scopes:
+            self._finish_scope(activation)
+
+        # 3. Stream-copy output: closing tag, then conditional suffix strings.
+        if frame.copy_active:
+            self.sink.write_event(event)
+        for part in frame.copy_suffix:
+            if part.condition is None or self._evaluate_condition(part.condition):
+                self.sink.write_text(part.text)
+
+        # 4. Parent-scope ``on-first`` handlers that fired on this child run
+        #    now that the child is complete.
+        for activation, handler in frame.pending_on_first:
+            self._execute_handler_body(handler.body)

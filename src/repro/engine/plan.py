@@ -1,0 +1,345 @@
+"""Compilation of safe FluX queries into executable plans.
+
+A :class:`QueryPlan` is a tree of :class:`ScopeSpec` objects -- one per
+``process-stream`` block -- annotated with everything the streaming executor
+needs:
+
+* per scope, the ordered handler list compiled into either
+  :class:`CompiledOnFirst` (with the precomputed ``PastTable`` of Appendix B)
+  or :class:`CompiledOn` (with either a nested scope or a
+  :class:`StreamCopyAction` derived from the simple-expression
+  decomposition),
+* per scope, the pruned buffer tree (Section 5) and the set of condition
+  paths to track on the fly,
+* the Glushkov automaton of the scope's element type, which provides the one
+  DFA transition per child that drives the punctuation events.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Tuple, Union
+
+from repro.dtd.glushkov import GlushkovAutomaton, INITIAL_STATE
+from repro.dtd.schema import DTD, ROOT_ELEMENT
+from repro.engine.projection import (
+    BufferTreeNode,
+    buffer_tree_for_variable,
+    buffered_subexpressions,
+    condition_value_paths,
+)
+from repro.flux.ast import (
+    FluxExpr,
+    OnFirstHandler,
+    OnHandler,
+    ProcessStream,
+    SimpleFlux,
+    maximal_xquery_subexpressions,
+)
+from repro.flux.errors import UnsafeQueryError, UnschedulableQueryError
+from repro.flux.safety import check_safety
+from repro.flux.simple import SimplePart, decompose_simple
+from repro.xquery.analysis import free_variables
+from repro.xquery.ast import Condition, ROOT_VARIABLE, XQExpr
+
+Path = Tuple[str, ...]
+
+
+# ---------------------------------------------------------------------------
+# Value-capture trie
+
+
+@dataclass
+class ValueTrieNode:
+    """Prefix trie over the condition paths tracked on the fly."""
+
+    children: Dict[str, "ValueTrieNode"] = field(default_factory=dict)
+    terminal_path: Optional[Path] = None
+
+    def child(self, label: str) -> "ValueTrieNode":
+        if label not in self.children:
+            self.children[label] = ValueTrieNode()
+        return self.children[label]
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.children and self.terminal_path is None
+
+
+def build_value_trie(paths: FrozenSet[Path]) -> Optional[ValueTrieNode]:
+    """Build the trie; ``None`` when there is nothing to track."""
+    if not paths:
+        return None
+    root = ValueTrieNode()
+    for path in sorted(paths):
+        node = root
+        for step in path:
+            node = node.child(step)
+        node.terminal_path = path
+    return root
+
+
+# ---------------------------------------------------------------------------
+# Compiled handlers and scopes
+
+
+@dataclass(frozen=True)
+class StreamCopyAction:
+    """Runtime form of a simple ``on``-handler body.
+
+    ``prefix`` strings are emitted when the triggering child starts,
+    the child's subtree is copied through if ``copy_var`` is set (guarded by
+    ``copy_condition``), and ``suffix`` strings are emitted when the child
+    ends.
+    """
+
+    prefix: Tuple[SimplePart, ...]
+    copy_var: Optional[str]
+    copy_condition: Optional[Condition]
+    suffix: Tuple[SimplePart, ...]
+
+
+@dataclass(frozen=True)
+class CompiledOnFirst:
+    """A compiled ``on-first past(S)`` handler."""
+
+    index: int
+    symbols: Optional[FrozenSet[str]]
+    body: XQExpr
+    past_table: Optional[Dict[int, bool]]
+
+    def fires_initially(self) -> bool:
+        """Whether the handler is already satisfied before any child (i = 0)."""
+        if self.past_table is not None:
+            return bool(self.past_table.get(INITIAL_STATE, False))
+        # Without an automaton we only know the answer for the empty set.
+        return self.symbols is not None and len(self.symbols) == 0
+
+
+@dataclass(frozen=True)
+class CompiledOn:
+    """A compiled ``on a as $x`` handler."""
+
+    index: int
+    label: str
+    var: str
+    nested: Optional["ScopeSpec"]
+    copy: Optional[StreamCopyAction]
+
+
+CompiledHandler = Union[CompiledOnFirst, CompiledOn]
+
+
+@dataclass(frozen=True)
+class ScopeSpec:
+    """Everything the executor needs to run one ``process-stream`` block."""
+
+    var: str
+    element_type: Optional[str]
+    handlers: Tuple[CompiledHandler, ...]
+    automaton: Optional[GlushkovAutomaton]
+    buffer_tree: Optional[BufferTreeNode]
+    value_trie: Optional[ValueTrieNode]
+
+    @property
+    def needs_buffer(self) -> bool:
+        """Whether a buffer has to be allocated when this scope activates."""
+        return self.buffer_tree is not None and not self.buffer_tree.is_empty()
+
+    @property
+    def root_marked(self) -> bool:
+        """Whether the buffer captures the scope element itself."""
+        return self.buffer_tree is not None and self.buffer_tree.marked
+
+
+@dataclass(frozen=True)
+class QueryPlan:
+    """A compiled FluX query, ready for streaming execution."""
+
+    root_scope: ScopeSpec
+    pre: str
+    post: str
+    flux: FluxExpr
+    dtd: DTD
+    root_var: str
+    buffer_trees: Dict[str, BufferTreeNode]
+    value_paths: Dict[str, FrozenSet[Path]]
+
+    def describe_buffers(self) -> str:
+        """Human-readable rendering of all buffer trees (cf. Figure 3)."""
+        if not self.buffer_trees:
+            return "(no buffers required)"
+        parts = []
+        for var in sorted(self.buffer_trees):
+            parts.append(self.buffer_trees[var].describe(var))
+        return "\n".join(parts)
+
+
+# ---------------------------------------------------------------------------
+# Compilation
+
+
+def compile_plan(
+    flux: FluxExpr,
+    dtd: DTD,
+    *,
+    root_var: str = ROOT_VARIABLE,
+    require_safe: bool = True,
+) -> QueryPlan:
+    """Compile a FluX query into a :class:`QueryPlan`.
+
+    ``require_safe`` runs the Definition-3.6 checker first and refuses unsafe
+    queries (an unsafe query would silently produce wrong answers, since the
+    engine would read buffers before they are fully populated).
+    """
+    if require_safe:
+        violations = check_safety(flux, dtd, root_var=root_var)
+        if violations:
+            details = "; ".join(str(violation) for violation in violations)
+            raise UnsafeQueryError(f"query is not safe for the given DTD: {details}")
+
+    buffered_exprs = buffered_subexpressions(flux)
+    all_exprs = maximal_xquery_subexpressions(flux)
+    referenced_vars = set()
+    for expr in all_exprs:
+        referenced_vars |= free_variables(expr)
+
+    buffer_trees: Dict[str, BufferTreeNode] = {}
+    value_paths: Dict[str, FrozenSet[Path]] = {}
+    for var in sorted(referenced_vars):
+        tree = buffer_tree_for_variable(var, buffered_exprs)
+        # Conditions may occur both in buffer-evaluated bodies and in simple
+        # streaming handlers; every condition path not covered by the buffer
+        # must be tracked on the fly.
+        paths = condition_value_paths(var, all_exprs, tree)
+        if not tree.is_empty():
+            buffer_trees[var] = tree
+        if paths:
+            value_paths[var] = paths
+
+    compiler = _ScopeCompiler(dtd, buffer_trees, value_paths)
+
+    if isinstance(flux, SimpleFlux):
+        # Degenerate case: the whole query is a simple expression (fixed
+        # strings); run it as a single on-first past() handler at the root.
+        root_spec = ScopeSpec(
+            var=root_var,
+            element_type=ROOT_ELEMENT if ROOT_ELEMENT in dtd else None,
+            handlers=(CompiledOnFirst(0, frozenset(), flux.expr, _past_table(dtd, ROOT_ELEMENT, frozenset())),),
+            automaton=_automaton(dtd, ROOT_ELEMENT),
+            buffer_tree=buffer_trees.get(root_var),
+            value_trie=build_value_trie(value_paths.get(root_var, frozenset())),
+        )
+        return QueryPlan(root_spec, "", "", flux, dtd, root_var, buffer_trees, value_paths)
+
+    if not isinstance(flux, ProcessStream):
+        raise TypeError(f"not a FluX expression: {flux!r}")
+    if flux.var != root_var:
+        raise UnschedulableQueryError(
+            f"the outermost process-stream must range over {root_var}, got {flux.var}"
+        )
+    root_spec = compiler.compile_scope(flux, ROOT_ELEMENT)
+    return QueryPlan(
+        root_scope=root_spec,
+        pre=flux.pre,
+        post=flux.post,
+        flux=flux,
+        dtd=dtd,
+        root_var=root_var,
+        buffer_trees=buffer_trees,
+        value_paths=value_paths,
+    )
+
+
+class _ScopeCompiler:
+    """Recursive compiler from FluX ``process-stream`` blocks to scope specs."""
+
+    def __init__(
+        self,
+        dtd: DTD,
+        buffer_trees: Dict[str, BufferTreeNode],
+        value_paths: Dict[str, FrozenSet[Path]],
+    ):
+        self._dtd = dtd
+        self._buffer_trees = buffer_trees
+        self._value_paths = value_paths
+
+    def compile_scope(self, block: ProcessStream, element_type: Optional[str]) -> ScopeSpec:
+        handlers: List[CompiledHandler] = []
+        for index, handler in enumerate(block.handlers):
+            if isinstance(handler, OnFirstHandler):
+                handlers.append(self._compile_on_first(index, handler, element_type))
+            elif isinstance(handler, OnHandler):
+                handlers.append(self._compile_on(index, handler))
+            else:  # pragma: no cover - exhaustive over the AST
+                raise TypeError(f"not a FluX handler: {handler!r}")
+        return ScopeSpec(
+            var=block.var,
+            element_type=element_type if element_type in self._dtd else None,
+            handlers=tuple(handlers),
+            automaton=_automaton(self._dtd, element_type),
+            buffer_tree=self._buffer_trees.get(block.var),
+            value_trie=build_value_trie(self._value_paths.get(block.var, frozenset())),
+        )
+
+    def _compile_on_first(
+        self, index: int, handler: OnFirstHandler, element_type: Optional[str]
+    ) -> CompiledOnFirst:
+        table = None
+        if handler.symbols is not None:
+            table = _past_table(self._dtd, element_type, handler.symbols)
+        return CompiledOnFirst(
+            index=index,
+            symbols=handler.symbols,
+            body=handler.body,
+            past_table=table,
+        )
+
+    def _compile_on(self, index: int, handler: OnHandler) -> CompiledOn:
+        body = handler.body
+        if isinstance(body, ProcessStream):
+            if body.var != handler.var:
+                raise UnschedulableQueryError(
+                    f"nested process-stream ranges over {body.var}, expected {handler.var}"
+                )
+            nested = self.compile_scope(body, handler.label)
+            return CompiledOn(index, handler.label, handler.var, nested, None)
+        if isinstance(body, SimpleFlux):
+            decomposition = decompose_simple(body.expr)
+            if decomposition is None:
+                raise UnschedulableQueryError(
+                    f"handler body for 'on {handler.label}' is neither simple nor a process-stream"
+                )
+            if decomposition.copy_var is not None and decomposition.copy_var != handler.var:
+                raise UnschedulableQueryError(
+                    f"simple handler for 'on {handler.label}' copies {decomposition.copy_var}, "
+                    f"which is not the bound variable {handler.var}"
+                )
+            action = StreamCopyAction(
+                prefix=decomposition.prefix,
+                copy_var=decomposition.copy_var,
+                copy_condition=decomposition.copy_condition,
+                suffix=decomposition.suffix,
+            )
+            return CompiledOn(index, handler.label, handler.var, None, action)
+        raise TypeError(f"not a FluX expression: {body!r}")
+
+
+# ---------------------------------------------------------------------------
+# DTD helpers
+
+
+def _automaton(dtd: DTD, element_type: Optional[str]) -> Optional[GlushkovAutomaton]:
+    if element_type is None or element_type not in dtd:
+        return None
+    return dtd.automaton(element_type)
+
+
+def _past_table(
+    dtd: DTD, element_type: Optional[str], symbols: FrozenSet[str]
+) -> Optional[Dict[int, bool]]:
+    if element_type is None or element_type not in dtd:
+        if not symbols:
+            return {INITIAL_STATE: True}
+        return None
+    return dtd.constraints(element_type).past_table(symbols)

@@ -1,0 +1,87 @@
+"""Runtime statistics.
+
+The paper's evaluation (Figure 4) reports execution time and *maximum memory
+consumption*, where memory means the data buffered by the engine (the JVM
+overhead is excluded).  :class:`RunStatistics` captures the analogous
+quantities for this implementation:
+
+* ``peak_buffered_events`` / ``peak_buffered_bytes`` -- high-water mark of the
+  SAX-event buffers (the quantity the scheduling is designed to minimise),
+* ``peak_condition_bytes`` -- high-water mark of the per-scope condition
+  value/flag store (the "Boolean flag" store of Section 5; reported
+  separately because the paper does not count it as buffering),
+* event and byte counters for the input and the output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class RunStatistics:
+    """Counters collected while executing a query."""
+
+    input_events: int = 0
+    input_bytes: int = 0
+    output_events: int = 0
+    output_bytes: int = 0
+
+    buffered_events_current: int = 0
+    buffered_bytes_current: int = 0
+    peak_buffered_events: int = 0
+    peak_buffered_bytes: int = 0
+    total_buffered_events: int = 0
+
+    condition_bytes_current: int = 0
+    peak_condition_bytes: int = 0
+
+    handler_executions: int = 0
+    elapsed_seconds: float = 0.0
+
+    # ------------------------------------------------------------- buffers
+
+    def record_buffered(self, events: int, cost: int) -> None:
+        """Account for events added to some buffer."""
+        self.buffered_events_current += events
+        self.buffered_bytes_current += cost
+        self.total_buffered_events += events
+        if self.buffered_events_current > self.peak_buffered_events:
+            self.peak_buffered_events = self.buffered_events_current
+        if self.buffered_bytes_current > self.peak_buffered_bytes:
+            self.peak_buffered_bytes = self.buffered_bytes_current
+
+    def record_freed(self, events: int, cost: int) -> None:
+        """Account for a buffer being cleared or released."""
+        self.buffered_events_current -= events
+        self.buffered_bytes_current -= cost
+
+    def record_condition_bytes(self, delta: int) -> None:
+        """Account for condition values captured on the fly."""
+        self.condition_bytes_current += delta
+        if self.condition_bytes_current > self.peak_condition_bytes:
+            self.peak_condition_bytes = self.condition_bytes_current
+
+    # -------------------------------------------------------------- output
+
+    def record_output(self, events: int, size: int) -> None:
+        """Account for data written to the output."""
+        self.output_events += events
+        self.output_bytes += size
+
+    def record_input(self, events: int, size: int) -> None:
+        """Account for data read from the input stream."""
+        self.input_events += events
+        self.input_bytes += size
+
+    # ------------------------------------------------------------- reports
+
+    def summary(self) -> str:
+        """One-line human-readable summary used by the examples."""
+        return (
+            f"in={self.input_events} events/{self.input_bytes}B "
+            f"out={self.output_bytes}B "
+            f"peak-buffer={self.peak_buffered_events} events/{self.peak_buffered_bytes}B "
+            f"peak-conditions={self.peak_condition_bytes}B "
+            f"time={self.elapsed_seconds:.3f}s"
+        )

@@ -1,0 +1,259 @@
+"""Execution of XQuery⁻ subexpressions over runtime buffers.
+
+When an ``on-first`` handler fires (or a conditional string has to be
+emitted), the engine evaluates an XQuery⁻ expression whose free variables are
+*scope variables* -- variables bound by the surrounding ``process-stream``
+blocks.  The data available for a scope variable is
+
+* its event buffer, projected according to the buffer tree (Section 5), and
+* its on-the-fly condition value store (for paths that are compared against
+  constants and are therefore never buffered).
+
+This module provides the environment abstraction
+(:class:`ScopeBinding` / :class:`RuntimeEnvironment`) and an evaluator that
+mirrors :mod:`repro.xquery.semantics` but resolves paths through that hybrid
+environment.  Variables bound by for-loops during the evaluation itself are
+ordinary tree nodes (materialised from buffers), so nested loops and join
+conditions work exactly as in the reference evaluator.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.engine.buffers import EventBuffer
+from repro.engine.projection import BufferTreeNode
+from repro.xmlstream.tree import XMLNode
+from repro.xquery.ast import (
+    AndCondition,
+    ComparisonCondition,
+    Condition,
+    EmptyCondition,
+    EmptyExpr,
+    ExistsCondition,
+    ForExpr,
+    IfExpr,
+    NotCondition,
+    NumberLiteral,
+    OrCondition,
+    PathOutputExpr,
+    PathRef,
+    ScaledPath,
+    SequenceExpr,
+    StringLiteral,
+    TextExpr,
+    TrueCondition,
+    VarOutputExpr,
+    XQExpr,
+)
+from repro.xquery.errors import XQueryEvaluationError
+from repro.xquery.semantics import compare_existential, _format_number, _as_number
+
+Path = Tuple[str, ...]
+
+
+class ScopeBinding:
+    """Runtime data bound to one scope variable."""
+
+    def __init__(
+        self,
+        var: str,
+        element_name: str,
+        *,
+        buffer: Optional[EventBuffer] = None,
+        buffer_tree: Optional[BufferTreeNode] = None,
+        value_store: Optional[Dict[Path, List[str]]] = None,
+    ):
+        self.var = var
+        self.element_name = element_name
+        self.buffer = buffer
+        self.buffer_tree = buffer_tree
+        self.value_store = value_store if value_store is not None else {}
+
+    # --------------------------------------------------------------- data
+
+    @property
+    def root_marked(self) -> bool:
+        """Whether the buffer captures the scope element itself (``{$x}`` output)."""
+        return self.buffer_tree is not None and self.buffer_tree.marked
+
+    def materialize(self) -> XMLNode:
+        """Build a navigable node for this scope from the buffered events."""
+        if self.buffer is None:
+            return XMLNode(self.element_name)
+        if self.root_marked:
+            node = self.buffer.to_single_node()
+            if node is None:
+                return XMLNode(self.element_name)
+            return node
+        return self.buffer.to_tree(self.element_name)
+
+    def covers_path(self, path: Path) -> bool:
+        """Whether the buffer tree captures the content reachable via ``path``."""
+        return self.buffer_tree is not None and self.buffer_tree.covers(path)
+
+    def stored_values(self, path: Path) -> Optional[List[str]]:
+        """On-the-fly captured values for ``path``, if it is tracked."""
+        return self.value_store.get(path)
+
+
+Binding = Union[XMLNode, ScopeBinding]
+
+
+class RuntimeEnvironment:
+    """Variable environment mixing tree nodes and scope bindings."""
+
+    def __init__(self, bindings: Optional[Dict[str, Binding]] = None):
+        self._bindings: Dict[str, Binding] = dict(bindings or {})
+        self._materialized: Dict[str, XMLNode] = {}
+
+    def with_node(self, var: str, node: XMLNode) -> "RuntimeEnvironment":
+        """Child environment with an additional tree-node binding."""
+        child = RuntimeEnvironment(self._bindings)
+        child._bindings[var] = node
+        child._materialized = self._materialized
+        return child
+
+    def binding(self, var: str) -> Binding:
+        try:
+            return self._bindings[var]
+        except KeyError:
+            raise XQueryEvaluationError(f"unbound variable {var} at handler execution time") from None
+
+    def _materialized_scope(self, var: str, binding: ScopeBinding) -> XMLNode:
+        if var not in self._materialized:
+            self._materialized[var] = binding.materialize()
+        return self._materialized[var]
+
+    # ----------------------------------------------------------- resolution
+
+    def resolve_nodes(self, var: str, path: Path) -> List[XMLNode]:
+        """Nodes reachable from ``var`` via ``path`` (for loops and outputs)."""
+        binding = self.binding(var)
+        if isinstance(binding, XMLNode):
+            return binding.select_path(path)
+        return self._materialized_scope(var, binding).select_path(path)
+
+    def resolve_values(self, var: str, path: Path) -> List[str]:
+        """Atomised string values reachable from ``var`` via ``path`` (for conditions)."""
+        binding = self.binding(var)
+        if isinstance(binding, XMLNode):
+            return [node.text_content() for node in binding.select_path(path)]
+        if binding.covers_path(path):
+            return [
+                node.text_content()
+                for node in self._materialized_scope(var, binding).select_path(path)
+            ]
+        stored = binding.stored_values(path)
+        if stored is not None:
+            return list(stored)
+        # The path is neither buffered nor tracked: for a safe query this
+        # means it simply cannot have any matches in the current scope.
+        return []
+
+    def resolve_count(self, var: str, path: Path) -> int:
+        """Number of nodes reachable via ``path`` (for ``exists`` / ``empty``)."""
+        binding = self.binding(var)
+        if isinstance(binding, XMLNode):
+            return len(binding.select_path(path))
+        if binding.covers_path(path):
+            return len(self._materialized_scope(var, binding).select_path(path))
+        stored = binding.stored_values(path)
+        if stored is not None:
+            return len(stored)
+        return 0
+
+    def output_node(self, var: str) -> XMLNode:
+        """The node to serialise for ``{$var}``."""
+        binding = self.binding(var)
+        if isinstance(binding, XMLNode):
+            return binding
+        return self._materialized_scope(var, binding)
+
+
+class OutputTarget:
+    """Minimal protocol the evaluator writes to (implemented by the sink)."""
+
+    def write_text(self, text: str) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def write_node(self, node: XMLNode) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+# ---------------------------------------------------------------------------
+# Expression evaluation
+
+
+def execute_expression(expr: XQExpr, env: RuntimeEnvironment, sink) -> None:
+    """Evaluate ``expr`` over the runtime environment, writing to ``sink``."""
+    if isinstance(expr, EmptyExpr):
+        return
+    if isinstance(expr, TextExpr):
+        sink.write_text(expr.text)
+        return
+    if isinstance(expr, SequenceExpr):
+        for item in expr.items:
+            execute_expression(item, env, sink)
+        return
+    if isinstance(expr, ForExpr):
+        for node in env.resolve_nodes(expr.source, expr.path):
+            inner = env.with_node(expr.var, node)
+            if expr.where is not None and not evaluate_condition_runtime(expr.where, inner):
+                continue
+            execute_expression(expr.body, inner, sink)
+        return
+    if isinstance(expr, IfExpr):
+        if evaluate_condition_runtime(expr.condition, env):
+            execute_expression(expr.body, env, sink)
+        return
+    if isinstance(expr, PathOutputExpr):
+        for node in env.resolve_nodes(expr.var, expr.path):
+            sink.write_node(node)
+        return
+    if isinstance(expr, VarOutputExpr):
+        sink.write_node(env.output_node(expr.var))
+        return
+    raise TypeError(f"not an XQuery- expression: {expr!r}")
+
+
+# ---------------------------------------------------------------------------
+# Condition evaluation
+
+
+def evaluate_condition_runtime(condition: Condition, env: RuntimeEnvironment) -> bool:
+    """Evaluate a condition over the runtime environment."""
+    if isinstance(condition, TrueCondition):
+        return True
+    if isinstance(condition, AndCondition):
+        return all(evaluate_condition_runtime(item, env) for item in condition.items)
+    if isinstance(condition, OrCondition):
+        return any(evaluate_condition_runtime(item, env) for item in condition.items)
+    if isinstance(condition, NotCondition):
+        return not evaluate_condition_runtime(condition.inner, env)
+    if isinstance(condition, ExistsCondition):
+        return env.resolve_count(condition.ref.var, condition.ref.path) > 0
+    if isinstance(condition, EmptyCondition):
+        return env.resolve_count(condition.ref.var, condition.ref.path) == 0
+    if isinstance(condition, ComparisonCondition):
+        left = _operand_values(condition.left, env)
+        right = _operand_values(condition.right, env)
+        return compare_existential(left, condition.op, right)
+    raise TypeError(f"not a condition: {condition!r}")
+
+
+def _operand_values(operand, env: RuntimeEnvironment) -> List[str]:
+    if isinstance(operand, PathRef):
+        return env.resolve_values(operand.var, operand.path)
+    if isinstance(operand, StringLiteral):
+        return [operand.value]
+    if isinstance(operand, NumberLiteral):
+        return [_format_number(operand.value)]
+    if isinstance(operand, ScaledPath):
+        values = []
+        for raw in env.resolve_values(operand.ref.var, operand.ref.path):
+            number = _as_number(raw)
+            if number is not None:
+                values.append(_format_number(operand.coefficient * number))
+        return values
+    raise TypeError(f"not an operand: {operand!r}")

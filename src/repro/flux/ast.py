@@ -1,0 +1,149 @@
+"""FluX abstract syntax (Definition 3.3).
+
+A FluX expression is either
+
+* a *simple* XQuery⁻ expression (wrapped in :class:`SimpleFlux`), or
+* ``s { process-stream $y: ζ } s'`` -- a :class:`ProcessStream` block over a
+  variable ``$y`` with an ordered list of event handlers ``ζ``.
+
+Event handlers come in two kinds:
+
+* :class:`OnHandler` -- ``on a as $x return Q`` with ``Q`` again a FluX
+  expression; fires for every child of ``$y`` labelled ``a``,
+* :class:`OnFirstHandler` -- ``on-first past(S) return α`` with ``α`` an
+  XQuery⁻ expression; fires exactly once, as soon as the DTD guarantees that
+  no symbol of ``S`` can occur among the remaining children of ``$y``
+  (``symbols=None`` encodes ``past(*)``, i.e. ``S = symb($y)``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Iterator, List, Optional, Sequence, Tuple, Union
+
+from repro.xquery.ast import XQExpr
+
+
+class FluxExpr:
+    """Base class of FluX expressions."""
+
+    def to_source(self) -> str:
+        from repro.flux.serialize import flux_to_source
+
+        return flux_to_source(self)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.to_source()
+
+
+@dataclass(frozen=True)
+class SimpleFlux(FluxExpr):
+    """A simple XQuery⁻ expression used directly as a FluX expression."""
+
+    expr: XQExpr
+
+
+@dataclass(frozen=True)
+class OnHandler:
+    """``on label as $var return body``."""
+
+    label: str
+    var: str
+    body: FluxExpr
+
+    def handler_symbols(self) -> FrozenSet[str]:
+        """Contribution of this handler to ``hsymb(ζ)``."""
+        return frozenset({self.label})
+
+
+@dataclass(frozen=True)
+class OnFirstHandler:
+    """``on-first past(S) return body``.
+
+    ``symbols`` is the set ``S``; ``None`` stands for ``past(*)``
+    (``S = symb($y)`` of the enclosing ``process-stream`` variable).
+    """
+
+    symbols: Optional[FrozenSet[str]]
+    body: XQExpr
+
+    def handler_symbols(self) -> FrozenSet[str]:
+        """Contribution of this handler to ``hsymb(ζ)``."""
+        if self.symbols is None:
+            return frozenset()
+        return self.symbols
+
+    @property
+    def is_past_all(self) -> bool:
+        """Whether this handler is ``on-first past(*)``."""
+        return self.symbols is None
+
+
+Handler = Union[OnHandler, OnFirstHandler]
+
+
+@dataclass(frozen=True)
+class ProcessStream(FluxExpr):
+    """``pre { process-stream $var: handlers } post``."""
+
+    var: str
+    handlers: Tuple[Handler, ...]
+    pre: str = ""
+    post: str = ""
+
+    def __init__(self, var: str, handlers: Sequence[Handler], pre: str = "", post: str = ""):
+        object.__setattr__(self, "var", var)
+        object.__setattr__(self, "handlers", tuple(handlers))
+        object.__setattr__(self, "pre", pre)
+        object.__setattr__(self, "post", post)
+
+    def on_handlers(self) -> Tuple[OnHandler, ...]:
+        """The ``on`` handlers, in order."""
+        return tuple(h for h in self.handlers if isinstance(h, OnHandler))
+
+    def on_first_handlers(self) -> Tuple[OnFirstHandler, ...]:
+        """The ``on-first`` handlers, in order."""
+        return tuple(h for h in self.handlers if isinstance(h, OnFirstHandler))
+
+
+def handler_symbols(handlers: Sequence[Handler]) -> FrozenSet[str]:
+    """``hsymb(ζ)``: the symbols covered by a handler list (Section 4.2)."""
+    out: FrozenSet[str] = frozenset()
+    for handler in handlers:
+        out = out | handler.handler_symbols()
+    return out
+
+
+def iter_process_streams(expr: FluxExpr) -> Iterator[ProcessStream]:
+    """Iterate over all ``process-stream`` blocks of a FluX expression."""
+    if isinstance(expr, SimpleFlux):
+        return
+    if isinstance(expr, ProcessStream):
+        yield expr
+        for handler in expr.handlers:
+            if isinstance(handler, OnHandler):
+                yield from iter_process_streams(handler.body)
+    else:
+        raise TypeError(f"not a FluX expression: {expr!r}")
+
+
+def maximal_xquery_subexpressions(expr: FluxExpr) -> List[XQExpr]:
+    """The maximal XQuery⁻ subexpressions of a FluX expression (Section 3.2).
+
+    These are the XQuery⁻ expressions that are not contained in any larger
+    XQuery⁻ expression: the bodies of ``on-first`` handlers, the bodies of
+    ``on`` handlers that are simple, and the expression itself if the whole
+    FluX expression is simple.
+    """
+    out: List[XQExpr] = []
+    if isinstance(expr, SimpleFlux):
+        out.append(expr.expr)
+        return out
+    if isinstance(expr, ProcessStream):
+        for handler in expr.handlers:
+            if isinstance(handler, OnFirstHandler):
+                out.append(handler.body)
+            else:
+                out.extend(maximal_xquery_subexpressions(handler.body))
+        return out
+    raise TypeError(f"not a FluX expression: {expr!r}")

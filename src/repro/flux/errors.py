@@ -1,0 +1,23 @@
+"""Errors raised by the FluX layer."""
+
+
+class FluxError(Exception):
+    """Base class for FluX-related errors."""
+
+
+class FluxParseError(FluxError):
+    """Raised when FluX concrete syntax cannot be parsed."""
+
+
+class UnschedulableQueryError(FluxError):
+    """Raised when a query cannot be scheduled safely for the given DTD.
+
+    The typical cause is an output of a whole *ancestor* subtree (``{$u}``
+    for a variable bound above the current scope) from inside a deeper
+    scope -- evaluating it would require the ancestor's subtree to be
+    complete while we are still inside it.
+    """
+
+
+class UnsafeQueryError(FluxError):
+    """Raised when a FluX query fails the Definition-3.6 safety check."""

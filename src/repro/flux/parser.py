@@ -1,0 +1,178 @@
+"""Parser for FluX concrete syntax.
+
+The rewrite algorithm produces FluX ASTs directly, but the paper presents its
+examples in concrete syntax (``process-stream`` / ``ps`` blocks with ``on``
+and ``on-first`` handlers).  This parser accepts that syntax so hand-written
+FluX queries -- like the intro examples of the paper -- can be loaded,
+safety-checked and executed.
+
+Grammar (informal)::
+
+    flux      := text* "{" ps-block "}" text*      -- at most one ps block per level
+               | xquery-                            -- otherwise a simple expression
+    ps-block  := ("process-stream" | "ps") VAR ":" handler (";" handler)*
+    handler   := "on" NAME "as" VAR "return" flux
+               | "on-first" "past" "(" [ "*" | NAME ("," NAME)* ] ")" "return" xquery-
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.flux.ast import FluxExpr, OnFirstHandler, OnHandler, ProcessStream, SimpleFlux
+from repro.flux.errors import FluxParseError
+from repro.xquery.parser import find_keyword, parse_query, split_mixed
+
+
+def parse_flux(text: str) -> FluxExpr:
+    """Parse FluX concrete syntax into a :class:`FluxExpr`."""
+    parts = split_mixed(text)
+    ps_chunks = [
+        (index, chunk)
+        for index, (kind, chunk) in enumerate(parts)
+        if kind == "expr" and _is_ps_chunk(chunk)
+    ]
+    if not ps_chunks:
+        return SimpleFlux(parse_query(text))
+    if len(ps_chunks) > 1:
+        raise FluxParseError("a FluX expression may contain at most one process-stream block per level")
+    index, chunk = ps_chunks[0]
+    pre = "".join(c for kind, c in parts[:index] if kind == "text").strip()
+    post = "".join(c for kind, c in parts[index + 1:] if kind == "text").strip()
+    if any(kind == "expr" for kind, _ in parts[:index]) or any(
+        kind == "expr" for kind, _ in parts[index + 1:]
+    ):
+        raise FluxParseError(
+            "only fixed strings may surround a process-stream block (Definition 3.3)"
+        )
+    var, handlers = _parse_ps_block(chunk)
+    return ProcessStream(var, handlers, pre=pre, post=post)
+
+
+def _is_ps_chunk(chunk: str) -> bool:
+    stripped = chunk.strip()
+    return stripped.startswith("process-stream") or (
+        stripped.startswith("ps") and (len(stripped) == 2 or not stripped[2].isalnum())
+    )
+
+
+def _parse_ps_block(chunk: str) -> Tuple[str, List]:
+    stripped = chunk.strip()
+    if stripped.startswith("process-stream"):
+        rest = stripped[len("process-stream"):]
+    elif stripped.startswith("ps"):
+        rest = stripped[len("ps"):]
+    else:  # pragma: no cover - guarded by _is_ps_chunk
+        raise FluxParseError(f"not a process-stream block: {chunk!r}")
+    colon = _find_top_level(rest, ":")
+    if colon == -1:
+        raise FluxParseError(f"process-stream block without ':': {chunk!r}")
+    var = rest[:colon].strip()
+    if not var.startswith("$"):
+        raise FluxParseError(f"process-stream must bind a variable, got {var!r}")
+    handler_text = rest[colon + 1:]
+    handlers = [
+        _parse_handler(part) for part in _split_top_level(handler_text, ";") if part.strip()
+    ]
+    if not handlers:
+        raise FluxParseError("process-stream block with no handlers")
+    return var, handlers
+
+
+def _parse_handler(text: str):
+    stripped = text.strip()
+    if stripped.startswith("on-first"):
+        return _parse_on_first(stripped)
+    if stripped.startswith("on"):
+        return _parse_on(stripped)
+    raise FluxParseError(f"cannot parse event handler: {text!r}")
+
+
+def _parse_on_first(text: str) -> OnFirstHandler:
+    rest = text[len("on-first"):].strip()
+    if not rest.startswith("past"):
+        raise FluxParseError(f"on-first handler must use past(...): {text!r}")
+    rest = rest[len("past"):].strip()
+    if not rest.startswith("("):
+        raise FluxParseError(f"on-first past requires parentheses: {text!r}")
+    closing = rest.find(")")
+    if closing == -1:
+        raise FluxParseError(f"unterminated past(...) in {text!r}")
+    inside = rest[1:closing].strip()
+    return_pos = find_keyword(rest, "return", closing)
+    if return_pos == -1:
+        raise FluxParseError(f"on-first handler without 'return': {text!r}")
+    body = parse_query(rest[return_pos + len("return"):])
+    if inside == "*":
+        symbols: Optional[frozenset] = None
+    elif not inside:
+        symbols = frozenset()
+    else:
+        symbols = frozenset(name.strip() for name in inside.split(",") if name.strip())
+    return OnFirstHandler(symbols, body)
+
+
+def _parse_on(text: str) -> OnHandler:
+    rest = text[len("on"):].strip()
+    as_pos = find_keyword(rest, "as")
+    if as_pos == -1:
+        raise FluxParseError(f"on handler without 'as': {text!r}")
+    label = rest[:as_pos].strip()
+    return_pos = find_keyword(rest, "return", as_pos)
+    if return_pos == -1:
+        raise FluxParseError(f"on handler without 'return': {text!r}")
+    var = rest[as_pos + len("as"):return_pos].strip()
+    if not var.startswith("$"):
+        raise FluxParseError(f"on handler must bind a variable, got {var!r}")
+    body = parse_flux(rest[return_pos + len("return"):])
+    return OnHandler(label, var, body)
+
+
+# ---------------------------------------------------------------------------
+# Top-level text utilities (brace- and quote-aware)
+
+
+def _find_top_level(text: str, char: str) -> int:
+    depth = 0
+    i = 0
+    while i < len(text):
+        current = text[i]
+        if current in "\"'":
+            closing = text.find(current, i + 1)
+            if closing == -1:
+                raise FluxParseError(f"unterminated string in {text!r}")
+            i = closing + 1
+            continue
+        if current == "{":
+            depth += 1
+        elif current == "}":
+            depth -= 1
+        elif depth == 0 and current == char:
+            return i
+        i += 1
+    return -1
+
+
+def _split_top_level(text: str, separator: str) -> List[str]:
+    parts: List[str] = []
+    depth = 0
+    start = 0
+    i = 0
+    while i < len(text):
+        current = text[i]
+        if current in "\"'":
+            closing = text.find(current, i + 1)
+            if closing == -1:
+                raise FluxParseError(f"unterminated string in {text!r}")
+            i = closing + 1
+            continue
+        if current == "{":
+            depth += 1
+        elif current == "}":
+            depth -= 1
+        elif depth == 0 and current == separator:
+            parts.append(text[start:i])
+            start = i + 1
+        i += 1
+    parts.append(text[start:])
+    return parts

@@ -1,0 +1,51 @@
+"""Pretty printer for FluX expressions, following the paper's concrete syntax."""
+
+from __future__ import annotations
+
+from repro.flux.ast import FluxExpr, OnFirstHandler, OnHandler, ProcessStream, SimpleFlux
+from repro.xquery.serialize import expression_to_source
+
+
+def flux_to_source(expr: FluxExpr, *, indent: int = 0, shorthand: bool = True) -> str:
+    """Render a FluX expression.
+
+    ``shorthand`` uses ``ps`` instead of ``process-stream`` (as most of the
+    paper's examples do).
+    """
+    pad = "  " * indent
+    keyword = "ps" if shorthand else "process-stream"
+    if isinstance(expr, SimpleFlux):
+        return _indent_block(expression_to_source(expr.expr), pad)
+    if isinstance(expr, ProcessStream):
+        lines = []
+        if expr.pre:
+            lines.append(pad + expr.pre)
+        lines.append(f"{pad}{{ {keyword} {expr.var}:")
+        handler_lines = []
+        for handler in expr.handlers:
+            handler_lines.append(_handler_source(handler, indent + 1, shorthand))
+        lines.append(";\n".join(handler_lines))
+        lines.append(pad + "}")
+        if expr.post:
+            lines.append(pad + expr.post)
+        return "\n".join(line for line in lines if line)
+    raise TypeError(f"not a FluX expression: {expr!r}")
+
+
+def _handler_source(handler, indent: int, shorthand: bool) -> str:
+    pad = "  " * indent
+    if isinstance(handler, OnFirstHandler):
+        if handler.symbols is None:
+            past = "*"
+        else:
+            past = ",".join(sorted(handler.symbols))
+        body = _indent_block(expression_to_source(handler.body), pad + "  ")
+        return f"{pad}on-first past({past}) return\n{body}"
+    if isinstance(handler, OnHandler):
+        body = flux_to_source(handler.body, indent=indent + 1, shorthand=shorthand)
+        return f"{pad}on {handler.label} as {handler.var} return\n{body}"
+    raise TypeError(f"not a FluX handler: {handler!r}")
+
+
+def _indent_block(text: str, pad: str) -> str:
+    return "\n".join(pad + line if line.strip() else line for line in text.splitlines())

@@ -1,0 +1,121 @@
+"""Simple expressions (Section 3.2).
+
+A *simple expression* is an XQuery⁻ expression of the form ``α β γ`` where
+
+* ``α`` and ``γ`` are possibly empty sequences of fixed strings and of
+  expressions ``{if χ then s}`` (``s`` a fixed string),
+* ``β`` is either empty, ``{$u}``, or ``{if χ then {$u}}`` for some variable
+  ``$u``,
+* if ``β`` is present, no atomic condition occurring in ``α β`` contains the
+  variable ``$u``.
+
+Simple expressions are exactly the XQuery⁻ expressions the streaming engine
+can execute *immediately* when an ``on`` handler fires: the strings and the
+conditional strings depend only on condition flags that are already decided,
+and the optional ``{$u}`` copies the subtree of the element that triggered
+the handler straight to the output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.xquery.ast import (
+    Condition,
+    EmptyExpr,
+    IfExpr,
+    SequenceExpr,
+    TextExpr,
+    VarOutputExpr,
+    XQExpr,
+    condition_path_refs,
+    sequence_items,
+)
+
+
+@dataclass(frozen=True)
+class SimplePart:
+    """One item of the prefix/suffix of a simple expression.
+
+    ``condition`` is ``None`` for an unconditional fixed string.
+    """
+
+    text: str
+    condition: Optional[Condition] = field(default=None)
+
+
+@dataclass(frozen=True)
+class SimpleDecomposition:
+    """The ``α β γ`` decomposition of a simple expression."""
+
+    prefix: Tuple[SimplePart, ...]
+    copy_var: Optional[str]
+    copy_condition: Optional[Condition]
+    suffix: Tuple[SimplePart, ...]
+
+    @property
+    def has_copy(self) -> bool:
+        """Whether the middle part ``β`` is present."""
+        return self.copy_var is not None
+
+
+def decompose_simple(expr: XQExpr) -> Optional[SimpleDecomposition]:
+    """Return the decomposition of ``expr`` if it is simple, else ``None``."""
+    items = sequence_items(expr)
+    prefix: List[SimplePart] = []
+    suffix: List[SimplePart] = []
+    copy_var: Optional[str] = None
+    copy_condition: Optional[Condition] = None
+    seen_copy = False
+
+    for item in items:
+        part = _as_string_part(item)
+        if part is not None:
+            (suffix if seen_copy else prefix).append(part)
+            continue
+        copy = _as_copy_part(item)
+        if copy is None or seen_copy:
+            return None
+        copy_var, copy_condition = copy
+        seen_copy = True
+
+    if copy_var is not None:
+        # No atomic condition in the prefix or in the copy part may mention
+        # the copied variable.
+        for part in prefix:
+            if part.condition is not None and _mentions_variable(part.condition, copy_var):
+                return None
+        if copy_condition is not None and _mentions_variable(copy_condition, copy_var):
+            return None
+
+    return SimpleDecomposition(tuple(prefix), copy_var, copy_condition, tuple(suffix))
+
+
+def is_simple(expr: XQExpr) -> bool:
+    """Whether ``expr`` is a simple expression."""
+    return decompose_simple(expr) is not None
+
+
+def _as_string_part(item: XQExpr) -> Optional[SimplePart]:
+    if isinstance(item, EmptyExpr):
+        return SimplePart("")
+    if isinstance(item, TextExpr):
+        return SimplePart(item.text)
+    if isinstance(item, IfExpr) and isinstance(item.body, TextExpr):
+        return SimplePart(item.body.text, item.condition)
+    return None
+
+
+def _as_copy_part(item: XQExpr) -> Optional[Tuple[str, Optional[Condition]]]:
+    if isinstance(item, VarOutputExpr):
+        return item.var, None
+    if isinstance(item, IfExpr) and isinstance(item.body, VarOutputExpr):
+        return item.body.var, item.condition
+    if isinstance(item, SequenceExpr):
+        return None
+    return None
+
+
+def _mentions_variable(condition: Condition, var: str) -> bool:
+    return any(ref.var == var for ref in condition_path_refs(condition))

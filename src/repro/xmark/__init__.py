@@ -1,0 +1,55 @@
+"""XMark-like workload substrate.
+
+The paper's experiments (Section 6, Figure 4) run adapted XMark queries
+1, 8, 11, 13 and 20 over documents produced by the XMark ``xmlgen`` data
+generator, with all attributes converted into subelements.  This package
+provides the equivalent ingredients:
+
+* :mod:`repro.xmark.dtd` -- the adapted (attribute-free) auction-site DTD,
+* :mod:`repro.xmark.generator` -- a deterministic, seedable data generator
+  that emits documents of a chosen scale directly as a stream of text chunks,
+* :mod:`repro.xmark.queries` -- the five benchmark queries exactly as listed
+  in Appendix A,
+* :mod:`repro.xmark.usecases` -- the bibliography DTDs and XMP use-case
+  queries used as running examples in Sections 1 and 4.3.
+"""
+
+from repro.xmark.dtd import XMARK_DTD_SOURCE, xmark_dtd
+from repro.xmark.generator import (
+    XMarkConfig,
+    config_for_scale,
+    estimate_size_bytes,
+    generate_document,
+    iter_document_chunks,
+    write_document,
+)
+from repro.xmark.queries import BENCHMARK_QUERIES, query_source
+from repro.xmark.usecases import (
+    BIB_DTD_ORDERED,
+    BIB_DTD_UNORDERED,
+    BIB_DTD_USECASES,
+    XMP_Q1,
+    XMP_Q2,
+    XMP_Q3,
+    generate_bibliography,
+)
+
+__all__ = [
+    "BENCHMARK_QUERIES",
+    "BIB_DTD_ORDERED",
+    "BIB_DTD_UNORDERED",
+    "BIB_DTD_USECASES",
+    "XMARK_DTD_SOURCE",
+    "XMP_Q1",
+    "XMP_Q2",
+    "XMP_Q3",
+    "XMarkConfig",
+    "config_for_scale",
+    "estimate_size_bytes",
+    "generate_bibliography",
+    "generate_document",
+    "iter_document_chunks",
+    "query_source",
+    "write_document",
+    "xmark_dtd",
+]

@@ -1,0 +1,123 @@
+"""The adapted XMark auction-site DTD.
+
+This is the XMark schema restricted to the elements the five benchmark
+queries touch (plus enough surrounding structure to keep the documents
+realistic), with every attribute converted into a leading subelement of its
+parent -- exactly the adaptation described in Section 6 / Appendix A of the
+paper (``<person id="...">`` becomes ``<person><person_id>...``).
+
+Two order facts in this schema carry the whole optimisation story:
+
+* inside ``person``, ``person_id`` precedes ``name`` (and inside ``item``,
+  ``name`` precedes ``description``), which lets queries 1 and 13 run with
+  zero buffering;
+* inside ``site``, ``people`` precedes ``open_auctions`` and
+  ``closed_auctions``, which tells the scheduler that the joins of queries 8
+  and 11 must buffer people and auctions (projected) and can only be
+  evaluated once the auctions have arrived.
+"""
+
+from __future__ import annotations
+
+from repro.dtd.parser import parse_dtd
+from repro.dtd.schema import DTD
+
+XMARK_DTD_SOURCE = """
+<!ELEMENT site            (regions, categories, catgraph, people, open_auctions, closed_auctions)>
+
+<!ELEMENT regions         (africa, asia, australia, europe, namerica, samerica)>
+<!ELEMENT africa          (item*)>
+<!ELEMENT asia            (item*)>
+<!ELEMENT australia       (item*)>
+<!ELEMENT europe          (item*)>
+<!ELEMENT namerica        (item*)>
+<!ELEMENT samerica        (item*)>
+
+<!ELEMENT item            (item_id, location, quantity, name, payment, description, shipping, incategory+, mailbox)>
+<!ELEMENT item_id         (#PCDATA)>
+<!ELEMENT location        (#PCDATA)>
+<!ELEMENT quantity        (#PCDATA)>
+<!ELEMENT name            (#PCDATA)>
+<!ELEMENT payment         (#PCDATA)>
+<!ELEMENT description     (text)>
+<!ELEMENT text            (#PCDATA)>
+<!ELEMENT shipping        (#PCDATA)>
+<!ELEMENT incategory      (incategory_category)>
+<!ELEMENT incategory_category (#PCDATA)>
+<!ELEMENT mailbox         (mail*)>
+<!ELEMENT mail            (from, to, date, text)>
+<!ELEMENT from            (#PCDATA)>
+<!ELEMENT to              (#PCDATA)>
+<!ELEMENT date            (#PCDATA)>
+
+<!ELEMENT categories      (category+)>
+<!ELEMENT category        (category_id, name, description)>
+<!ELEMENT category_id     (#PCDATA)>
+<!ELEMENT catgraph        (edge*)>
+<!ELEMENT edge            (edge_from, edge_to)>
+<!ELEMENT edge_from       (#PCDATA)>
+<!ELEMENT edge_to         (#PCDATA)>
+
+<!ELEMENT people          (person*)>
+<!ELEMENT person          (person_id, person_income?, name, emailaddress, phone?, address?, homepage?, creditcard?, profile?, watches?)>
+<!ELEMENT person_id       (#PCDATA)>
+<!ELEMENT person_income   (#PCDATA)>
+<!ELEMENT emailaddress    (#PCDATA)>
+<!ELEMENT phone           (#PCDATA)>
+<!ELEMENT address         (street, city, country, zipcode)>
+<!ELEMENT street          (#PCDATA)>
+<!ELEMENT city            (#PCDATA)>
+<!ELEMENT country         (#PCDATA)>
+<!ELEMENT zipcode         (#PCDATA)>
+<!ELEMENT homepage        (#PCDATA)>
+<!ELEMENT creditcard      (#PCDATA)>
+<!ELEMENT profile         (profile_income?, interest*, education?, gender?, business, age?)>
+<!ELEMENT profile_income  (#PCDATA)>
+<!ELEMENT interest        (interest_category)>
+<!ELEMENT interest_category (#PCDATA)>
+<!ELEMENT education       (#PCDATA)>
+<!ELEMENT gender          (#PCDATA)>
+<!ELEMENT business        (#PCDATA)>
+<!ELEMENT age             (#PCDATA)>
+<!ELEMENT watches         (watch*)>
+<!ELEMENT watch           (watch_open_auction)>
+<!ELEMENT watch_open_auction (#PCDATA)>
+
+<!ELEMENT open_auctions   (open_auction*)>
+<!ELEMENT open_auction    (open_auction_id, initial, reserve?, bidder*, current, itemref, seller, quantity, type, interval)>
+<!ELEMENT open_auction_id (#PCDATA)>
+<!ELEMENT initial         (#PCDATA)>
+<!ELEMENT reserve         (#PCDATA)>
+<!ELEMENT bidder          (date, time, personref, increase)>
+<!ELEMENT time            (#PCDATA)>
+<!ELEMENT personref       (personref_person)>
+<!ELEMENT personref_person (#PCDATA)>
+<!ELEMENT increase        (#PCDATA)>
+<!ELEMENT current         (#PCDATA)>
+<!ELEMENT itemref         (itemref_item)>
+<!ELEMENT itemref_item    (#PCDATA)>
+<!ELEMENT seller          (seller_person)>
+<!ELEMENT seller_person   (#PCDATA)>
+<!ELEMENT type            (#PCDATA)>
+<!ELEMENT interval        (start, end)>
+<!ELEMENT start           (#PCDATA)>
+<!ELEMENT end             (#PCDATA)>
+
+<!ELEMENT closed_auctions (closed_auction*)>
+<!ELEMENT closed_auction  (closed_auction_id, seller, buyer, itemref, price, date, quantity, type, annotation?)>
+<!ELEMENT closed_auction_id (#PCDATA)>
+<!ELEMENT buyer           (buyer_person)>
+<!ELEMENT buyer_person    (#PCDATA)>
+<!ELEMENT price           (#PCDATA)>
+<!ELEMENT annotation      (description)>
+"""
+
+_CACHED: DTD = None
+
+
+def xmark_dtd() -> DTD:
+    """The parsed XMark DTD with the virtual root attached to ``site``."""
+    global _CACHED
+    if _CACHED is None:
+        _CACHED = parse_dtd(XMARK_DTD_SOURCE).with_root("site")
+    return _CACHED

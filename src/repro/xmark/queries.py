@@ -1,0 +1,99 @@
+"""The five benchmark queries of Appendix A.
+
+The queries are reproduced verbatim from the paper (modulo whitespace).  They
+are already adapted to the attribute-free schema: attribute accesses use the
+``<parent>_<attribute>`` subelements and ``count(...)`` / ``text()`` were
+removed by the paper's authors as described in Section 6.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+#: XMark query 1 -- look up one person by id (fully streamable: no buffering).
+QUERY_1 = """
+<query1>
+{ for $b in /site/people/person
+  where $b/person_id = 'person0'
+  return
+  <result> {$b/name} </result> }
+</query1>
+"""
+
+#: XMark query 8 -- for every person, the items they bought (value join between
+#: people and closed auctions; both sides are buffered, projected).
+QUERY_8 = """
+<query8>
+{ for $p in /site/people/person return
+  <item>
+    <person> {$p/name} </person>
+    <items_bought>
+    { for $t in /site/closed_auctions/closed_auction
+      where $t/buyer/buyer_person = $p/person_id
+      return
+      <result> {$t} </result> }
+    </items_bought>
+  </item> }
+</query8>
+"""
+
+#: XMark query 11 -- value join with an arithmetic predicate between a person's
+#: income and the initial price of open auctions.
+QUERY_11 = """
+<query11>
+{ for $p in /site/people/person return
+  <items>
+    {$p/name}
+    { for $o in /site/open_auctions/open_auction
+      where $p/profile/profile_income > (5000 * $o/initial)
+      return
+      {$o/open_auction_id} }
+  </items> }
+</query11>
+"""
+
+#: XMark query 13 -- names and descriptions of Australian items (streamable).
+QUERY_13 = """
+<query13>
+{ for $i in /site/regions/australia/item return
+  <item>
+    <name> {$i/name} </name>
+    <desc> {$i/description} </desc>
+  </item> }
+</query13>
+"""
+
+#: XMark query 20 (the paper's variant) -- persons without income information
+#: (one person buffered at a time).
+QUERY_20 = """
+<query20>
+{ for $p in /site/people/person
+  where empty($p/person_income)
+  return {$p} }
+</query20>
+"""
+
+#: All benchmark queries keyed by their Figure-4 label.
+BENCHMARK_QUERIES: Dict[str, str] = {
+    "Q1": QUERY_1,
+    "Q8": QUERY_8,
+    "Q11": QUERY_11,
+    "Q13": QUERY_13,
+    "Q20": QUERY_20,
+}
+
+#: Queries the paper reports as running without any buffering.
+ZERO_BUFFER_QUERIES: Tuple[str, ...] = ("Q1", "Q13")
+
+#: Queries that perform a value join and therefore buffer projected subtrees.
+JOIN_QUERIES: Tuple[str, ...] = ("Q8", "Q11")
+
+
+def query_source(name: str) -> str:
+    """The XQuery⁻ source of a benchmark query (``"Q1"`` ... ``"Q20"``)."""
+    try:
+        return BENCHMARK_QUERIES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown benchmark query {name!r}; available: {sorted(BENCHMARK_QUERIES)}"
+        ) from None

@@ -1,0 +1,20 @@
+"""Errors raised by the streaming XML substrate."""
+
+
+class XMLSyntaxError(ValueError):
+    """Raised when the tokenizer encounters malformed XML.
+
+    The error carries the (approximate) character offset at which the
+    problem was detected, which is useful when debugging generated or
+    hand-written test documents.
+    """
+
+    def __init__(self, message, offset=None):
+        if offset is not None:
+            message = f"{message} (at offset {offset})"
+        super().__init__(message)
+        self.offset = offset
+
+
+class XMLWellFormednessError(XMLSyntaxError):
+    """Raised when tags are not properly nested or the document is truncated."""

@@ -1,0 +1,143 @@
+"""User-facing parsing helpers.
+
+These wrap the incremental tokenizer with convenient entry points:
+
+* :func:`iter_events` -- stream events from a string, a file-like object, an
+  open path, or any iterable of text chunks, reading a bounded amount of text
+  at a time.
+* :func:`parse_events` -- materialize the full event list (used in tests and
+  by the baselines).
+* :func:`parse_tree` -- parse straight into an :class:`~repro.xmlstream.tree.XMLNode`.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+from typing import Iterable, Iterator, List, Union
+
+from repro.xmlstream.attributes import expand_attributes
+from repro.xmlstream.events import Event
+from repro.xmlstream.tokenizer import Tokenizer
+from repro.xmlstream.tree import XMLNode, events_to_tree
+
+#: Default read size for file-like sources, small enough to keep memory flat.
+DEFAULT_CHUNK_SIZE = 64 * 1024
+
+DocumentSource = Union[str, os.PathLike, io.IOBase, Iterable[str]]
+
+
+def _chunks_from_source(source: DocumentSource, chunk_size: int) -> Iterator[str]:
+    """Yield text chunks from any supported document source.
+
+    Strings are treated as *document text* if they contain a ``<`` character,
+    otherwise as file paths.  Passing an explicit :class:`os.PathLike` always
+    reads from disk.
+    """
+    if isinstance(source, str):
+        if "<" in source:
+            yield source
+            return
+        with open(source, "r", encoding="utf-8") as handle:
+            while True:
+                chunk = handle.read(chunk_size)
+                if not chunk:
+                    return
+                yield chunk
+        return
+    if isinstance(source, os.PathLike):
+        with open(source, "r", encoding="utf-8") as handle:
+            while True:
+                chunk = handle.read(chunk_size)
+                if not chunk:
+                    return
+                yield chunk
+        return
+    if hasattr(source, "read"):
+        while True:
+            chunk = source.read(chunk_size)
+            if not chunk:
+                return
+            if isinstance(chunk, bytes):
+                chunk = chunk.decode("utf-8")
+            yield chunk
+        return
+    for chunk in source:
+        yield chunk
+
+
+def iter_events(
+    source: DocumentSource,
+    *,
+    strip_whitespace: bool = True,
+    expand_attrs: bool = False,
+    document_events: bool = True,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+) -> Iterator[Event]:
+    """Stream SAX-style events from ``source``.
+
+    Parameters
+    ----------
+    source:
+        Document text, a path, an open file object, or an iterable of chunks.
+    strip_whitespace:
+        Drop whitespace-only character data (the default; the paper's data
+        model has element-only content almost everywhere).
+    expand_attrs:
+        Apply the attribute-to-subelement expansion of
+        :mod:`repro.xmlstream.attributes`.
+    document_events:
+        Whether to emit :class:`StartDocument`/:class:`EndDocument` markers.
+    """
+    tokenizer = Tokenizer(
+        strip_whitespace=strip_whitespace,
+        report_document_events=document_events,
+    )
+
+    def raw_events() -> Iterator[Event]:
+        for chunk in _chunks_from_source(source, chunk_size):
+            yield from tokenizer.feed(chunk)
+        yield from tokenizer.close()
+
+    if expand_attrs:
+        yield from expand_attributes(raw_events())
+    else:
+        yield from raw_events()
+
+
+def parse_events(
+    source: DocumentSource,
+    *,
+    strip_whitespace: bool = True,
+    expand_attrs: bool = False,
+    document_events: bool = True,
+) -> List[Event]:
+    """Parse ``source`` and return the complete list of events."""
+    return list(
+        iter_events(
+            source,
+            strip_whitespace=strip_whitespace,
+            expand_attrs=expand_attrs,
+            document_events=document_events,
+        )
+    )
+
+
+def parse_tree(
+    source: DocumentSource,
+    *,
+    strip_whitespace: bool = True,
+    expand_attrs: bool = False,
+) -> XMLNode:
+    """Parse ``source`` into an in-memory tree and return the root element."""
+    root = events_to_tree(
+        iter_events(
+            source,
+            strip_whitespace=strip_whitespace,
+            expand_attrs=expand_attrs,
+            document_events=False,
+        )
+    )
+    if root is None:
+        raise ValueError("document contains no element")
+    return root

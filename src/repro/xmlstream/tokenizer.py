@@ -1,0 +1,338 @@
+"""Incremental, hand-written XML tokenizer.
+
+The tokenizer accepts text chunks (of arbitrary size) via :meth:`Tokenizer.feed`
+and yields SAX-style events.  It supports the XML subset that the paper's data
+model needs:
+
+* elements with attributes,
+* character data with the five predefined entities and numeric references,
+* comments, processing instructions, CDATA sections and a DOCTYPE preamble
+  (all skipped, except that CDATA content is reported as character data),
+* self-closing tags.
+
+It deliberately does not implement namespaces, external entities, or DTD
+internal subsets beyond skipping them: the paper's data model is plain
+tag-name based.
+
+The tokenizer never holds more than one pending token worth of text, so it can
+be used on documents far larger than main memory -- which is the point of the
+whole exercise.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional
+
+from repro.xmlstream.errors import XMLSyntaxError, XMLWellFormednessError
+from repro.xmlstream.events import (
+    Characters,
+    EndDocument,
+    EndElement,
+    Event,
+    StartDocument,
+    StartElement,
+)
+
+_PREDEFINED_ENTITIES = {
+    "lt": "<",
+    "gt": ">",
+    "amp": "&",
+    "quot": '"',
+    "apos": "'",
+}
+
+_NAME_START_EXTRA = set("_:")
+_NAME_EXTRA = set("_:.-")
+
+
+def _is_name_start(char: str) -> bool:
+    return char.isalpha() or char in _NAME_START_EXTRA
+
+
+def _is_name_char(char: str) -> bool:
+    return char.isalnum() or char in _NAME_EXTRA
+
+
+def decode_entities(text: str, offset: int = 0) -> str:
+    """Replace entity and character references in ``text``.
+
+    Only the five predefined entities and numeric character references are
+    supported; anything else raises :class:`XMLSyntaxError`.
+    """
+    if "&" not in text:
+        return text
+    out: List[str] = []
+    i = 0
+    length = len(text)
+    while i < length:
+        char = text[i]
+        if char != "&":
+            out.append(char)
+            i += 1
+            continue
+        end = text.find(";", i + 1)
+        if end == -1:
+            raise XMLSyntaxError("unterminated entity reference", offset + i)
+        name = text[i + 1 : end]
+        if name.startswith("#x") or name.startswith("#X"):
+            try:
+                out.append(chr(int(name[2:], 16)))
+            except ValueError as exc:
+                raise XMLSyntaxError(f"bad character reference &{name};", offset + i) from exc
+        elif name.startswith("#"):
+            try:
+                out.append(chr(int(name[1:])))
+            except ValueError as exc:
+                raise XMLSyntaxError(f"bad character reference &{name};", offset + i) from exc
+        elif name in _PREDEFINED_ENTITIES:
+            out.append(_PREDEFINED_ENTITIES[name])
+        else:
+            raise XMLSyntaxError(f"unknown entity &{name};", offset + i)
+        i = end + 1
+    return "".join(out)
+
+
+class Tokenizer:
+    """Incremental XML tokenizer.
+
+    Typical usage::
+
+        tokenizer = Tokenizer()
+        for chunk in chunks:
+            for event in tokenizer.feed(chunk):
+                handle(event)
+        for event in tokenizer.close():
+            handle(event)
+
+    The tokenizer checks well-formedness (matching tags, single root) and
+    raises :class:`XMLWellFormednessError` when violated.
+    """
+
+    def __init__(self, *, strip_whitespace: bool = True, report_document_events: bool = True):
+        self._buffer = ""
+        self._offset = 0
+        self._stack: List[str] = []
+        self._started = False
+        self._finished = False
+        self._seen_root = False
+        self._strip_whitespace = strip_whitespace
+        self._report_document_events = report_document_events
+
+    # ------------------------------------------------------------------ API
+
+    def feed(self, chunk: str) -> Iterator[Event]:
+        """Feed a chunk of text and yield all events that became complete."""
+        if self._finished:
+            raise XMLWellFormednessError("data after end of document", self._offset)
+        self._buffer += chunk
+        yield from self._drain(final=False)
+
+    def close(self) -> Iterator[Event]:
+        """Signal end of input and yield any remaining events."""
+        yield from self._drain(final=True)
+        if self._stack:
+            raise XMLWellFormednessError(
+                f"document ended with unclosed element <{self._stack[-1]}>", self._offset
+            )
+        if not self._seen_root:
+            raise XMLWellFormednessError("document contains no element", self._offset)
+        if not self._finished:
+            self._finished = True
+            if self._report_document_events:
+                yield EndDocument()
+
+    # ------------------------------------------------------------ internals
+
+    def _drain(self, final: bool) -> Iterator[Event]:
+        if not self._started:
+            self._started = True
+            if self._report_document_events:
+                yield StartDocument()
+        while True:
+            event, made_progress = self._next_event(final)
+            if event is not None:
+                yield event
+            if not made_progress:
+                break
+
+    def _next_event(self, final: bool):
+        """Try to extract one event.  Returns ``(event_or_None, progressed)``."""
+        buffer = self._buffer
+        if not buffer:
+            return None, False
+        if buffer[0] != "<":
+            lt = buffer.find("<")
+            if lt == -1:
+                if not final:
+                    return None, False
+                text = buffer
+                self._consume(len(buffer))
+            else:
+                text = buffer[:lt]
+                self._consume(lt)
+            return self._text_event(text), True
+        # A markup construct starts here.
+        if len(buffer) < 2:
+            if final:
+                raise XMLSyntaxError("truncated markup", self._offset)
+            return None, False
+        second = buffer[1]
+        if second == "?":
+            return self._consume_until("?>", "processing instruction", final)
+        if second == "!":
+            if buffer.startswith("<!--"):
+                return self._consume_until("-->", "comment", final)
+            if buffer.startswith("<![CDATA["):
+                return self._consume_cdata(final)
+            if buffer.startswith("<!DOCTYPE") or buffer.startswith("<!doctype"):
+                return self._consume_doctype(final)
+            if len(buffer) < 9 and not final:
+                return None, False
+            raise XMLSyntaxError("unsupported markup declaration", self._offset)
+        gt = buffer.find(">")
+        if gt == -1:
+            if final:
+                raise XMLSyntaxError("unterminated tag", self._offset)
+            return None, False
+        raw_tag = buffer[1:gt]
+        self._consume(gt + 1)
+        if raw_tag.startswith("/"):
+            return self._end_tag(raw_tag[1:].strip()), True
+        return self._start_tag(raw_tag), True
+
+    def _text_event(self, raw: str) -> Optional[Characters]:
+        text = decode_entities(raw, self._offset)
+        if self._strip_whitespace and not text.strip():
+            return None
+        if not self._stack:
+            if text.strip():
+                raise XMLWellFormednessError("character data outside the root element", self._offset)
+            return None
+        return Characters(text)
+
+    def _consume(self, count: int) -> None:
+        self._buffer = self._buffer[count:]
+        self._offset += count
+
+    def _consume_until(self, terminator: str, what: str, final: bool):
+        end = self._buffer.find(terminator)
+        if end == -1:
+            if final:
+                raise XMLSyntaxError(f"unterminated {what}", self._offset)
+            return None, False
+        self._consume(end + len(terminator))
+        return None, True
+
+    def _consume_cdata(self, final: bool):
+        end = self._buffer.find("]]>")
+        if end == -1:
+            if final:
+                raise XMLSyntaxError("unterminated CDATA section", self._offset)
+            return None, False
+        text = self._buffer[len("<![CDATA[") : end]
+        self._consume(end + 3)
+        if not self._stack:
+            raise XMLWellFormednessError("CDATA outside the root element", self._offset)
+        if self._strip_whitespace and not text.strip():
+            return None, True
+        return Characters(text), True
+
+    def _consume_doctype(self, final: bool):
+        # A DOCTYPE may contain an internal subset in [...]; skip to the
+        # matching '>' while honouring brackets.
+        depth = 0
+        for index, char in enumerate(self._buffer):
+            if char == "[":
+                depth += 1
+            elif char == "]":
+                depth -= 1
+            elif char == ">" and depth <= 0:
+                self._consume(index + 1)
+                return None, True
+        if final:
+            raise XMLSyntaxError("unterminated DOCTYPE", self._offset)
+        return None, False
+
+    def _start_tag(self, raw_tag: str) -> StartElement:
+        self_closing = raw_tag.endswith("/")
+        if self_closing:
+            raw_tag = raw_tag[:-1]
+        name, attributes = self._parse_tag_content(raw_tag)
+        if not self._stack:
+            if self._seen_root:
+                raise XMLWellFormednessError("multiple root elements", self._offset)
+            self._seen_root = True
+        if self_closing:
+            # Emit the start event now; the matching end event is synthesised
+            # immediately afterwards by pushing it onto a tiny pending queue.
+            # To keep the tokenizer single-token, we instead expand the
+            # self-closing tag into two events by re-injecting the end tag.
+            self._buffer = f"</{name}>" + self._buffer
+            self._offset -= len(name) + 3
+        self._stack.append(name)
+        return StartElement(name, tuple(attributes))
+
+    def _end_tag(self, name: str) -> EndElement:
+        if not name or not all(_is_name_char(c) or _is_name_start(c) for c in name):
+            raise XMLSyntaxError(f"malformed end tag </{name}>", self._offset)
+        if not self._stack:
+            raise XMLWellFormednessError(f"unexpected closing tag </{name}>", self._offset)
+        expected = self._stack.pop()
+        if expected != name:
+            raise XMLWellFormednessError(
+                f"mismatched closing tag </{name}>, expected </{expected}>", self._offset
+            )
+        return EndElement(name)
+
+    def _parse_tag_content(self, raw_tag: str):
+        raw_tag = raw_tag.strip()
+        if not raw_tag:
+            raise XMLSyntaxError("empty tag", self._offset)
+        i = 0
+        if not _is_name_start(raw_tag[0]):
+            raise XMLSyntaxError(f"malformed tag <{raw_tag}>", self._offset)
+        while i < len(raw_tag) and _is_name_char(raw_tag[i]):
+            i += 1
+        name = raw_tag[:i]
+        attributes = []
+        rest = raw_tag[i:]
+        j = 0
+        while j < len(rest):
+            if rest[j].isspace():
+                j += 1
+                continue
+            # attribute name
+            start = j
+            while j < len(rest) and _is_name_char(rest[j]):
+                j += 1
+            attr_name = rest[start:j]
+            if not attr_name:
+                raise XMLSyntaxError(f"malformed attribute in <{raw_tag}>", self._offset)
+            while j < len(rest) and rest[j].isspace():
+                j += 1
+            if j >= len(rest) or rest[j] != "=":
+                raise XMLSyntaxError(f"attribute {attr_name!r} without value", self._offset)
+            j += 1
+            while j < len(rest) and rest[j].isspace():
+                j += 1
+            if j >= len(rest) or rest[j] not in "\"'":
+                raise XMLSyntaxError(f"attribute {attr_name!r} value must be quoted", self._offset)
+            quote = rest[j]
+            j += 1
+            end = rest.find(quote, j)
+            if end == -1:
+                raise XMLSyntaxError(f"unterminated attribute value for {attr_name!r}", self._offset)
+            value = decode_entities(rest[j:end], self._offset)
+            attributes.append((attr_name, value))
+            j = end + 1
+        return name, attributes
+
+
+def tokenize(text: str, *, strip_whitespace: bool = True, report_document_events: bool = True) -> Iterator[Event]:
+    """Tokenize a complete document held in a string."""
+    tokenizer = Tokenizer(
+        strip_whitespace=strip_whitespace,
+        report_document_events=report_document_events,
+    )
+    yield from tokenizer.feed(text)
+    yield from tokenizer.close()

@@ -1,0 +1,99 @@
+"""The XQuery⁻ fragment (Section 3.1 of the paper).
+
+XQuery⁻ is the data-transformation fragment of XQuery that FluX extends:
+fixed strings, sequences, for-loops over fixed paths (optionally with a
+``where`` clause), conditionals, and output of subtrees.  This package
+provides:
+
+* :mod:`repro.xquery.ast` -- the expression and condition AST,
+* :mod:`repro.xquery.parser` -- a parser for the fragment, including the
+  Appendix-A extensions (omitted ``$ROOT``, ``empty(...)``,
+  ``$x/π > c * $y/π'``),
+* :mod:`repro.xquery.analysis` -- free variables, dependencies, condition
+  paths (the static analyses the scheduler needs),
+* :mod:`repro.xquery.normalize` -- the Figure-1 normal form,
+* :mod:`repro.xquery.optimize` -- the Section-7 algebraic simplifications
+  (for-loop fusion and singleton-loop re-anchoring via cardinality
+  constraints),
+* :mod:`repro.xquery.semantics` -- the in-memory reference evaluator used by
+  the baseline engines and by the equivalence tests.
+"""
+
+from repro.xquery.ast import (
+    AndCondition,
+    ComparisonCondition,
+    Condition,
+    EmptyCondition,
+    EmptyExpr,
+    ExistsCondition,
+    ForExpr,
+    IfExpr,
+    NotCondition,
+    NumberLiteral,
+    OrCondition,
+    PathOutputExpr,
+    PathRef,
+    ScaledPath,
+    SequenceExpr,
+    StringLiteral,
+    TextExpr,
+    TrueCondition,
+    VarOutputExpr,
+    XQExpr,
+)
+from repro.xquery.errors import XQueryParseError, XQueryTypeError
+from repro.xquery.parser import parse_query, parse_condition
+from repro.xquery.serialize import expression_to_source, condition_to_source
+from repro.xquery.analysis import (
+    condition_paths,
+    dependencies,
+    free_variables,
+    iter_subexpressions,
+    path_references,
+    variables_bound,
+)
+from repro.xquery.normalize import is_normal_form, normalize
+from repro.xquery.optimize import fuse_for_loops, reanchor_singleton_loops, simplify
+from repro.xquery.semantics import evaluate_query, evaluate_to_string
+
+__all__ = [
+    "AndCondition",
+    "ComparisonCondition",
+    "Condition",
+    "EmptyCondition",
+    "EmptyExpr",
+    "ExistsCondition",
+    "ForExpr",
+    "IfExpr",
+    "NotCondition",
+    "NumberLiteral",
+    "OrCondition",
+    "PathOutputExpr",
+    "PathRef",
+    "ScaledPath",
+    "SequenceExpr",
+    "StringLiteral",
+    "TextExpr",
+    "TrueCondition",
+    "VarOutputExpr",
+    "XQExpr",
+    "XQueryParseError",
+    "XQueryTypeError",
+    "condition_paths",
+    "condition_to_source",
+    "dependencies",
+    "evaluate_query",
+    "evaluate_to_string",
+    "expression_to_source",
+    "free_variables",
+    "fuse_for_loops",
+    "is_normal_form",
+    "iter_subexpressions",
+    "normalize",
+    "parse_condition",
+    "parse_query",
+    "path_references",
+    "reanchor_singleton_loops",
+    "simplify",
+    "variables_bound",
+]

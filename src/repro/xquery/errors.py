@@ -1,0 +1,17 @@
+"""Errors raised by the XQuery⁻ front end."""
+
+
+class XQueryError(Exception):
+    """Base class for all XQuery⁻ errors."""
+
+
+class XQueryParseError(XQueryError):
+    """Raised when a query cannot be parsed as XQuery⁻."""
+
+
+class XQueryTypeError(XQueryError):
+    """Raised when a query is structurally outside the supported fragment."""
+
+
+class XQueryEvaluationError(XQueryError):
+    """Raised when the reference evaluator hits an unbound variable or path."""

@@ -1,0 +1,133 @@
+"""The XQuery⁻ normal form (Section 4.1, Figure 1).
+
+The normalisation rewrites a query until
+
+1. all for-loop paths are *simple-step* paths ``$x/a``,
+2. there are no conditional for-loops (``where`` clauses are pushed into the
+   loop body as ``if`` expressions),
+3. every ``{if χ then α}`` has a body ``α`` that is either a fixed string or
+   ``{$x}``,
+4. there are no ``{$x/π}`` outputs (they become for-loops over ``π``).
+
+Rule applications (Theorem 4.1) are linear in the query size; the
+implementation performs a single recursive pass that normalises bodies first
+and then pushes conditionals down through the already-normalised bodies.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.xquery.ast import (
+    AndCondition,
+    Condition,
+    EmptyExpr,
+    ForExpr,
+    IfExpr,
+    PathOutputExpr,
+    SequenceExpr,
+    TextExpr,
+    VarOutputExpr,
+    XQExpr,
+    sequence,
+)
+from repro.xquery.errors import XQueryTypeError
+
+
+class FreshVariables:
+    """Generator of fresh variable names for normalisation-introduced loops."""
+
+    def __init__(self, prefix: str = "$__v"):
+        self._prefix = prefix
+        self._counter = 0
+
+    def fresh(self, hint: Optional[str] = None) -> str:
+        """Return a new, unused variable name.
+
+        ``hint`` (typically the tag name the variable iterates over) is woven
+        into the name to keep normalised queries readable.
+        """
+        self._counter += 1
+        if hint:
+            safe_hint = "".join(char for char in hint if char.isalnum() or char == "_")
+            return f"{self._prefix}_{safe_hint}_{self._counter}"
+        return f"{self._prefix}_{self._counter}"
+
+
+def normalize(expr: XQExpr, *, fresh: Optional[FreshVariables] = None) -> XQExpr:
+    """Return the normalisation of ``expr`` (Figure 1)."""
+    fresh = fresh or FreshVariables()
+    return _normalize(expr, fresh)
+
+
+def _normalize(expr: XQExpr, fresh: FreshVariables) -> XQExpr:
+    if isinstance(expr, (EmptyExpr, TextExpr, VarOutputExpr)):
+        return expr
+    if isinstance(expr, SequenceExpr):
+        return sequence([_normalize(item, fresh) for item in expr.items])
+    if isinstance(expr, PathOutputExpr):
+        # { $y/π }  ==>  { for $x in $y/π return {$x} }
+        loop_var = fresh.fresh(expr.path[-1] if expr.path else None)
+        loop = ForExpr(var=loop_var, source=expr.var, path=expr.path, body=VarOutputExpr(loop_var))
+        return _normalize(loop, fresh)
+    if isinstance(expr, ForExpr):
+        return _normalize_for(expr, fresh)
+    if isinstance(expr, IfExpr):
+        body = _normalize(expr.body, fresh)
+        return _push_if(expr.condition, body, fresh)
+    raise TypeError(f"not an XQuery- expression: {expr!r}")
+
+
+def _normalize_for(expr: ForExpr, fresh: FreshVariables) -> XQExpr:
+    # Conditional for-loop: push the where-condition into the body.
+    if expr.where is not None:
+        inner = IfExpr(expr.where, expr.body)
+        return _normalize_for(ForExpr(expr.var, expr.source, expr.path, inner), fresh)
+    # Multi-step path: introduce a fresh intermediate loop.
+    if len(expr.path) > 1:
+        intermediate = fresh.fresh(expr.path[0])
+        inner = ForExpr(var=expr.var, source=intermediate, path=expr.path[1:], body=expr.body)
+        outer = ForExpr(var=intermediate, source=expr.source, path=expr.path[:1], body=inner)
+        return _normalize_for(outer, fresh)
+    if not expr.path:
+        raise XQueryTypeError(f"for-loop over an empty path binding {expr.var}")
+    return ForExpr(expr.var, expr.source, expr.path, _normalize(expr.body, fresh))
+
+
+def _push_if(condition: Condition, body: XQExpr, fresh: FreshVariables) -> XQExpr:
+    """Push ``if condition then`` through an already-normalised ``body``."""
+    if isinstance(body, EmptyExpr):
+        return body
+    if isinstance(body, SequenceExpr):
+        # { if χ then α β }  ==>  { if χ then α } { if χ then β }
+        return sequence([_push_if(condition, item, fresh) for item in body.items])
+    if isinstance(body, ForExpr):
+        # { if χ then {for ...} }  ==>  {for ... return {if χ then ...}}
+        return ForExpr(
+            body.var, body.source, body.path, _push_if(condition, body.body, fresh)
+        )
+    if isinstance(body, IfExpr):
+        # { if χ then { if ψ then α } }  ==>  { if χ and ψ then α }
+        return _push_if(AndCondition([condition, body.condition]), body.body, fresh)
+    if isinstance(body, (TextExpr, VarOutputExpr)):
+        return IfExpr(condition, body)
+    if isinstance(body, PathOutputExpr):  # pragma: no cover - removed by normalisation
+        return _push_if(condition, _normalize(body, fresh), fresh)
+    raise TypeError(f"not an XQuery- expression: {body!r}")
+
+
+def is_normal_form(expr: XQExpr) -> bool:
+    """Check the three normal-form properties of Section 4.1."""
+    if isinstance(expr, (EmptyExpr, TextExpr, VarOutputExpr)):
+        return True
+    if isinstance(expr, PathOutputExpr):
+        return False
+    if isinstance(expr, SequenceExpr):
+        return all(is_normal_form(item) for item in expr.items)
+    if isinstance(expr, ForExpr):
+        if expr.where is not None or len(expr.path) != 1:
+            return False
+        return is_normal_form(expr.body)
+    if isinstance(expr, IfExpr):
+        return isinstance(expr.body, (TextExpr, VarOutputExpr))
+    raise TypeError(f"not an XQuery- expression: {expr!r}")

@@ -1,0 +1,472 @@
+"""Parser for the XQuery⁻ fragment.
+
+XQuery⁻ queries are a mix of literal text (which, per the paper's reading, is
+simply copied to the output) and embedded expressions in curly braces::
+
+    <results>
+    { for $b in $ROOT/bib/book return
+        <result> { $b/title } { $b/author } </result> }
+    </results>
+
+The parser therefore works in two layers:
+
+* :func:`split_mixed` cuts a character range into literal chunks and brace
+  chunks (respecting nested braces and quoted strings),
+* :func:`parse_query` / :func:`_parse_braced` turn brace chunks into
+  :class:`~repro.xquery.ast.XQExpr` nodes, recursing into ``return`` /
+  ``then`` bodies.
+
+Supported beyond Definition 3.1 (because the Appendix-A benchmark queries
+need them):
+
+* a leading ``/`` in a path means "relative to ``$ROOT``",
+* ``empty($x/π)`` conditions,
+* comparisons against ``c * $y/π`` (a constant times a path),
+* ``where`` clauses combining atomic conditions with ``and`` / ``or`` /
+  ``not``.
+
+Whitespace-only literal chunks are dropped and other literal chunks are
+trimmed; the reference evaluator and the streaming engine share this
+convention so their outputs stay comparable.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.xquery.ast import (
+    AndCondition,
+    ComparisonCondition,
+    Condition,
+    EmptyCondition,
+    EmptyExpr,
+    ExistsCondition,
+    ForExpr,
+    IfExpr,
+    NotCondition,
+    NumberLiteral,
+    OrCondition,
+    PathOutputExpr,
+    PathRef,
+    ROOT_VARIABLE,
+    ScaledPath,
+    SequenceExpr,
+    StringLiteral,
+    TextExpr,
+    TrueCondition,
+    VarOutputExpr,
+    XQExpr,
+    make_path,
+    sequence,
+)
+from repro.xquery.errors import XQueryParseError
+
+# ---------------------------------------------------------------------------
+# Layer 1: mixed content splitting
+
+
+def split_mixed(text: str) -> List[Tuple[str, str]]:
+    """Split query text into ``("text", chunk)`` and ``("expr", chunk)`` parts.
+
+    Brace chunks are returned without the outer braces.  Nested braces and
+    single/double-quoted strings inside braces are respected.
+    """
+    parts: List[Tuple[str, str]] = []
+    i = 0
+    literal_start = 0
+    length = len(text)
+    while i < length:
+        char = text[i]
+        if char != "{":
+            i += 1
+            continue
+        if literal_start < i:
+            parts.append(("text", text[literal_start:i]))
+        end = _matching_brace(text, i)
+        parts.append(("expr", text[i + 1 : end]))
+        i = end + 1
+        literal_start = i
+    if literal_start < length:
+        parts.append(("text", text[literal_start:]))
+    return parts
+
+
+def _matching_brace(text: str, start: int) -> int:
+    """Index of the ``}`` matching the ``{`` at ``start``."""
+    depth = 0
+    i = start
+    length = len(text)
+    while i < length:
+        char = text[i]
+        if char in "\"'":
+            closing = text.find(char, i + 1)
+            if closing == -1:
+                raise XQueryParseError(f"unterminated string starting at offset {i}")
+            i = closing + 1
+            continue
+        if char == "{":
+            depth += 1
+        elif char == "}":
+            depth -= 1
+            if depth == 0:
+                return i
+        i += 1
+    raise XQueryParseError(f"unbalanced '{{' at offset {start}")
+
+
+def find_keyword(text: str, keyword: str, start: int = 0) -> int:
+    """Find ``keyword`` as a standalone word at brace depth 0, outside strings.
+
+    Returns -1 when not found.
+    """
+    depth = 0
+    i = start
+    length = len(text)
+    klen = len(keyword)
+    while i < length:
+        char = text[i]
+        if char in "\"'":
+            closing = text.find(char, i + 1)
+            if closing == -1:
+                raise XQueryParseError(f"unterminated string starting at offset {i}")
+            i = closing + 1
+            continue
+        if char == "{":
+            depth += 1
+        elif char == "}":
+            depth -= 1
+        elif depth == 0 and text.startswith(keyword, i):
+            before_ok = i == 0 or not (text[i - 1].isalnum() or text[i - 1] in "_$")
+            after = i + klen
+            after_ok = after >= length or not (text[after].isalnum() or text[after] in "_$")
+            if before_ok and after_ok:
+                return i
+        i += 1
+    return -1
+
+
+# ---------------------------------------------------------------------------
+# Layer 2: expressions
+
+
+def parse_query(text: str) -> XQExpr:
+    """Parse a complete XQuery⁻ query (mixed literal text and expressions)."""
+    return _parse_mixed(text)
+
+
+def _parse_mixed(text: str) -> XQExpr:
+    items: List[XQExpr] = []
+    for kind, chunk in split_mixed(text):
+        if kind == "text":
+            trimmed = chunk.strip()
+            if trimmed:
+                items.append(TextExpr(trimmed))
+        else:
+            items.append(_parse_braced(chunk))
+    return sequence(items)
+
+
+def _parse_braced(content: str) -> XQExpr:
+    stripped = content.strip()
+    if not stripped:
+        return EmptyExpr()
+    if _starts_with_keyword(stripped, "for"):
+        return _parse_for(stripped)
+    if _starts_with_keyword(stripped, "if"):
+        return _parse_if(stripped)
+    if stripped.startswith("$") or stripped.startswith("/"):
+        return _parse_output(stripped)
+    raise XQueryParseError(f"cannot parse embedded expression: {{{content}}}")
+
+
+def _starts_with_keyword(text: str, keyword: str) -> bool:
+    if not text.startswith(keyword):
+        return False
+    rest = text[len(keyword):]
+    return rest == "" or not (rest[0].isalnum() or rest[0] in "_$")
+
+
+def _parse_for(text: str) -> ForExpr:
+    in_pos = find_keyword(text, "in")
+    if in_pos == -1:
+        raise XQueryParseError(f"for-expression without 'in': {text!r}")
+    var = text[len("for"):in_pos].strip()
+    if not var.startswith("$"):
+        raise XQueryParseError(f"for-expression must bind a variable, got {var!r}")
+    return_pos = find_keyword(text, "return", in_pos)
+    if return_pos == -1:
+        raise XQueryParseError(f"for-expression without 'return': {text!r}")
+    where_pos = find_keyword(text, "where", in_pos)
+    if where_pos != -1 and where_pos < return_pos:
+        path_text = text[in_pos + 2 : where_pos].strip()
+        condition_text = text[where_pos + len("where") : return_pos].strip()
+        condition: Optional[Condition] = parse_condition(condition_text)
+    else:
+        path_text = text[in_pos + 2 : return_pos].strip()
+        condition = None
+    source, path = _parse_variable_path(path_text)
+    if not path:
+        raise XQueryParseError(f"for-expression must iterate over a non-empty path: {text!r}")
+    body = _parse_mixed(text[return_pos + len("return"):])
+    return ForExpr(var=var, source=source, path=path, body=body, where=condition)
+
+
+def _parse_if(text: str) -> IfExpr:
+    then_pos = find_keyword(text, "then")
+    if then_pos == -1:
+        raise XQueryParseError(f"if-expression without 'then': {text!r}")
+    condition = parse_condition(text[len("if"):then_pos].strip())
+    body = _parse_mixed(text[then_pos + len("then"):])
+    return IfExpr(condition=condition, body=body)
+
+
+def _parse_output(text: str) -> XQExpr:
+    var, path = _parse_variable_path(text)
+    if not path:
+        return VarOutputExpr(var)
+    return PathOutputExpr(var, path)
+
+
+def _parse_variable_path(text: str) -> Tuple[str, Tuple[str, ...]]:
+    """Parse ``$x``, ``$x/a/b`` or ``/a/b`` (the latter rooted at ``$ROOT``)."""
+    text = text.strip()
+    if not text:
+        raise XQueryParseError("empty path")
+    if "//" in text:
+        raise XQueryParseError(
+            f"descendant axis in {text!r} is outside the fixed-path fragment"
+        )
+    if text.startswith("$"):
+        if "/" in text:
+            var, _, rest = text.partition("/")
+            steps = [step for step in rest.split("/") if step]
+        else:
+            var, steps = text, []
+    elif text.startswith("/"):
+        var = ROOT_VARIABLE
+        steps = [step for step in text.split("/") if step]
+    else:
+        raise XQueryParseError(f"expected a variable or an absolute path, got {text!r}")
+    var = var.strip()
+    if not var.startswith("$") or len(var) < 2:
+        raise XQueryParseError(f"invalid variable name {var!r}")
+    for step in steps:
+        if not _is_tag_name(step.strip()):
+            raise XQueryParseError(
+                f"path step {step!r} is outside the fixed-path fragment (no wildcards, "
+                "descendant axes or predicates are allowed)"
+            )
+    return var, make_path([step.strip() for step in steps])
+
+
+def _is_tag_name(step: str) -> bool:
+    if not step:
+        return False
+    if step in ("*", ".", ".."):
+        return False
+    if "[" in step or "(" in step:
+        return False
+    return all(char.isalnum() or char in "_-." for char in step)
+
+
+# ---------------------------------------------------------------------------
+# Conditions
+
+
+class _ConditionTokens:
+    """Token stream over condition text."""
+
+    def __init__(self, text: str):
+        self.tokens = _tokenize_condition(text)
+        self.position = 0
+
+    def peek(self) -> Optional[str]:
+        if self.position < len(self.tokens):
+            return self.tokens[self.position]
+        return None
+
+    def next(self) -> str:
+        token = self.peek()
+        if token is None:
+            raise XQueryParseError("unexpected end of condition")
+        self.position += 1
+        return token
+
+    def expect(self, token: str) -> None:
+        actual = self.next()
+        if actual != token:
+            raise XQueryParseError(f"expected {token!r} in condition, got {actual!r}")
+
+    def eof(self) -> bool:
+        return self.position >= len(self.tokens)
+
+
+def _tokenize_condition(text: str) -> List[str]:
+    tokens: List[str] = []
+    i = 0
+    length = len(text)
+    while i < length:
+        char = text[i]
+        if char.isspace():
+            i += 1
+            continue
+        if char in "\"'":
+            closing = text.find(char, i + 1)
+            if closing == -1:
+                raise XQueryParseError(f"unterminated string in condition: {text!r}")
+            tokens.append(text[i:closing + 1])
+            i = closing + 1
+            continue
+        if text.startswith("!=", i) or text.startswith("<=", i) or text.startswith(">=", i):
+            tokens.append(text[i:i + 2])
+            i += 2
+            continue
+        if char in "=<>()*":
+            tokens.append(char)
+            i += 1
+            continue
+        if char == "$" or char == "/":
+            start = i
+            i += 1
+            while i < length and (text[i].isalnum() or text[i] in "_./-"):
+                i += 1
+            tokens.append(text[start:i])
+            continue
+        if char.isalnum() or char in "_.-":
+            start = i
+            while i < length and (text[i].isalnum() or text[i] in "_.-"):
+                i += 1
+            tokens.append(text[start:i])
+            continue
+        raise XQueryParseError(f"unexpected character {char!r} in condition: {text!r}")
+    return tokens
+
+
+def parse_condition(text: str) -> Condition:
+    """Parse a where/if condition."""
+    tokens = _ConditionTokens(text)
+    condition = _parse_or(tokens)
+    if not tokens.eof():
+        raise XQueryParseError(f"trailing tokens in condition: {tokens.tokens[tokens.position:]!r}")
+    return condition
+
+
+def _parse_or(tokens: _ConditionTokens) -> Condition:
+    items = [_parse_and(tokens)]
+    while tokens.peek() == "or":
+        tokens.next()
+        items.append(_parse_and(tokens))
+    if len(items) == 1:
+        return items[0]
+    return OrCondition(items)
+
+
+def _parse_and(tokens: _ConditionTokens) -> Condition:
+    items = [_parse_unary(tokens)]
+    while tokens.peek() == "and":
+        tokens.next()
+        items.append(_parse_unary(tokens))
+    if len(items) == 1:
+        return items[0]
+    return AndCondition(items)
+
+
+def _parse_unary(tokens: _ConditionTokens) -> Condition:
+    token = tokens.peek()
+    if token == "not":
+        tokens.next()
+        if tokens.peek() == "(":
+            tokens.next()
+            inner = _parse_or(tokens)
+            tokens.expect(")")
+            return NotCondition(inner)
+        return NotCondition(_parse_unary(tokens))
+    return _parse_primary(tokens)
+
+
+def _parse_primary(tokens: _ConditionTokens) -> Condition:
+    token = tokens.peek()
+    if token is None:
+        raise XQueryParseError("unexpected end of condition")
+    if token == "(":
+        # Either a parenthesised Boolean expression or a parenthesised
+        # arithmetic operand such as "(5000 * $o/initial)"; decide by trying
+        # the Boolean reading first and falling back.
+        saved = tokens.position
+        try:
+            tokens.next()
+            inner = _parse_or(tokens)
+            tokens.expect(")")
+            return inner
+        except XQueryParseError:
+            tokens.position = saved
+            return _parse_comparison(tokens)
+    if token == "true":
+        tokens.next()
+        return TrueCondition()
+    if token == "exists":
+        tokens.next()
+        ref = _parse_path_operand(tokens)
+        return ExistsCondition(ref)
+    if token == "empty":
+        tokens.next()
+        tokens.expect("(")
+        ref = _parse_path_operand(tokens)
+        tokens.expect(")")
+        return EmptyCondition(ref)
+    return _parse_comparison(tokens)
+
+
+def _parse_comparison(tokens: _ConditionTokens) -> Condition:
+    left = _parse_operand(tokens)
+    op = tokens.next()
+    if op not in ComparisonCondition.VALID_OPS:
+        raise XQueryParseError(f"expected a comparison operator, got {op!r}")
+    right = _parse_operand(tokens)
+    return ComparisonCondition(left, op, right)
+
+
+def _parse_path_operand(tokens: _ConditionTokens) -> PathRef:
+    token = tokens.next()
+    if not (token.startswith("$") or token.startswith("/")):
+        raise XQueryParseError(f"expected a path, got {token!r}")
+    var, path = _parse_variable_path(token)
+    return PathRef(var, path)
+
+
+def _parse_operand(tokens: _ConditionTokens):
+    token = tokens.peek()
+    if token is None:
+        raise XQueryParseError("missing operand in condition")
+    if token == "(":
+        tokens.next()
+        operand = _parse_operand(tokens)
+        tokens.expect(")")
+        return operand
+    if token.startswith("$") or token.startswith("/"):
+        tokens.next()
+        var, path = _parse_variable_path(token)
+        ref = PathRef(var, path)
+        if tokens.peek() == "*":
+            tokens.next()
+            factor = _parse_number(tokens.next())
+            return ScaledPath(factor, ref)
+        return ref
+    if token.startswith('"') or token.startswith("'"):
+        tokens.next()
+        return StringLiteral(token[1:-1])
+    number = _parse_number(token)
+    tokens.next()
+    if tokens.peek() == "*":
+        tokens.next()
+        path_token = tokens.next()
+        var, path = _parse_variable_path(path_token)
+        return ScaledPath(number, PathRef(var, path))
+    return NumberLiteral(number)
+
+
+def _parse_number(token: str) -> float:
+    try:
+        return float(token)
+    except ValueError:
+        raise XQueryParseError(f"expected a number, got {token!r}") from None

@@ -1,0 +1,57 @@
+"""Pretty printers for XQuery⁻ expressions and conditions.
+
+These produce text that the parser accepts again (round-trippable), which the
+property tests exploit.
+"""
+
+from __future__ import annotations
+
+from repro.xquery.ast import (
+    Condition,
+    EmptyExpr,
+    ForExpr,
+    IfExpr,
+    PathOutputExpr,
+    SequenceExpr,
+    TextExpr,
+    VarOutputExpr,
+    XQExpr,
+    format_path,
+)
+
+
+def condition_to_source(condition: Condition) -> str:
+    """Render a condition in parseable syntax."""
+    return condition.to_source()
+
+
+def expression_to_source(expr: XQExpr, *, indent: int = 0) -> str:
+    """Render an XQuery⁻ expression in parseable syntax.
+
+    ``indent`` controls pretty-printing depth for nested for/if bodies.
+    """
+    pad = "  " * indent
+    if isinstance(expr, EmptyExpr):
+        return ""
+    if isinstance(expr, TextExpr):
+        return pad + expr.text
+    if isinstance(expr, SequenceExpr):
+        return "\n".join(
+            part
+            for part in (expression_to_source(item, indent=indent) for item in expr.items)
+            if part
+        )
+    if isinstance(expr, ForExpr):
+        head = f"{pad}{{ for {expr.var} in {format_path(expr.source, expr.path)}"
+        if expr.where is not None:
+            head += f" where {expr.where.to_source()}"
+        body = expression_to_source(expr.body, indent=indent + 1)
+        return f"{head} return\n{body} }}"
+    if isinstance(expr, IfExpr):
+        body = expression_to_source(expr.body, indent=indent + 1)
+        return f"{pad}{{ if {expr.condition.to_source()} then\n{body} }}"
+    if isinstance(expr, PathOutputExpr):
+        return f"{pad}{{ {format_path(expr.var, expr.path)} }}"
+    if isinstance(expr, VarOutputExpr):
+        return f"{pad}{{ {expr.var} }}"
+    raise TypeError(f"not an XQuery- expression: {expr!r}")

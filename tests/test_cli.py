@@ -1,0 +1,111 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.xmark.usecases import BIB_DTD_USECASES, XMP_INTRO, generate_bibliography
+
+
+@pytest.fixture()
+def workspace(tmp_path):
+    """A query file, DTD file and document file on disk."""
+    query = tmp_path / "query.xq"
+    query.write_text(XMP_INTRO, encoding="utf-8")
+    dtd = tmp_path / "bib.dtd"
+    dtd.write_text(BIB_DTD_USECASES, encoding="utf-8")
+    document = tmp_path / "bib.xml"
+    document.write_text(generate_bibliography(12, seed=5), encoding="utf-8")
+    return {"query": str(query), "dtd": str(dtd), "document": str(document), "dir": tmp_path}
+
+
+def test_compile_command_prints_flux_and_buffers(workspace, capsys):
+    code = main(
+        ["compile", "--query", workspace["query"], "--dtd", workspace["dtd"], "--root", "bib",
+         "--show-normalized"]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "scheduled FluX query" in out
+    assert "on title as" in out
+    assert "safe for the DTD: True" in out
+    assert "normalised XQuery-" in out
+
+
+def test_run_command_writes_output_file(workspace, capsys):
+    output = workspace["dir"] / "result.xml"
+    code = main(
+        [
+            "run",
+            "--query", workspace["query"],
+            "--dtd", workspace["dtd"],
+            "--root", "bib",
+            "--document", workspace["document"],
+            "--output", str(output),
+        ]
+    )
+    assert code == 0
+    text = output.read_text(encoding="utf-8")
+    assert text.startswith("<results>")
+    err = capsys.readouterr().err
+    assert "peak-buffer=0" in err
+
+
+def test_run_command_prints_to_stdout(workspace, capsys):
+    code = main(
+        ["run", "--query", workspace["query"], "--dtd", workspace["dtd"], "--root", "bib",
+         "--document", workspace["document"]]
+    )
+    assert code == 0
+    assert "<results>" in capsys.readouterr().out
+
+
+def test_compare_command_reports_agreement(workspace, capsys):
+    code = main(
+        ["compare", "--query", workspace["query"], "--dtd", workspace["dtd"], "--root", "bib",
+         "--document", workspace["document"]]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "outputs identical: True" in out
+    assert "naive-dom" in out
+
+
+def test_validate_command_accepts_valid_document(workspace, capsys):
+    code = main(
+        ["validate", "--dtd", workspace["dtd"], "--root", "bib", "--document", workspace["document"]]
+    )
+    assert code == 0
+    assert "valid" in capsys.readouterr().out
+
+
+def test_validate_command_rejects_invalid_document(workspace, capsys, tmp_path):
+    bad = tmp_path / "bad.xml"
+    bad.write_text("<bib><book><author>A</author></book></bib>", encoding="utf-8")
+    code = main(["validate", "--dtd", workspace["dtd"], "--root", "bib", "--document", str(bad)])
+    assert code == 1
+    assert "INVALID" in capsys.readouterr().out
+
+
+def test_generate_command_writes_document(tmp_path, capsys):
+    output = tmp_path / "xmark.xml"
+    code = main(["generate", "--scale", "0.02", "--output", str(output)])
+    assert code == 0
+    assert output.stat().st_size > 1000
+    assert "wrote" in capsys.readouterr().out
+
+
+def test_xmark_command_uses_builtin_query_and_dtd(capsys):
+    code = main(["xmark", "--query", "Q13", "--scale", "0.02", "--discard-output"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "Q13 on" in out
+    assert "peak-buffer=0B" in out
+
+
+def test_builtin_query_names_resolve_without_files(tmp_path, capsys):
+    document = tmp_path / "site.xml"
+    main(["generate", "--scale", "0.02", "--output", str(document)])
+    capsys.readouterr()
+    code = main(["run", "--query", "Q1", "--document", str(document), "--discard-output"])
+    assert code == 0
+    assert "peak-buffer=0" in capsys.readouterr().err

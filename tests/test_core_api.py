@@ -1,0 +1,84 @@
+"""Unit tests for the public convenience API (repro.core)."""
+
+import pytest
+
+from repro import (
+    FluxEngine,
+    compare_engines,
+    compile_to_flux,
+    load_dtd,
+    run_query,
+)
+from repro.dtd.schema import ROOT_ELEMENT
+from repro.xmark.usecases import BIB_DTD_UNORDERED, BIB_DTD_USECASES, XMP_INTRO
+
+DOC = (
+    "<bib>"
+    "<book><title>Streams</title><author>Koch</author><publisher>V</publisher><price>5</price></book>"
+    "</bib>"
+)
+
+
+def test_load_dtd_from_text_requires_root():
+    with pytest.raises(ValueError):
+        load_dtd(BIB_DTD_USECASES)
+    dtd = load_dtd(BIB_DTD_USECASES, root_element="bib")
+    assert ROOT_ELEMENT in dtd
+
+
+def test_load_dtd_passes_through_rooted_dtd(bib_dtd_usecases):
+    assert load_dtd(bib_dtd_usecases) is bib_dtd_usecases
+
+
+def test_compile_to_flux_reports_safety_and_sources():
+    compiled = compile_to_flux(XMP_INTRO, BIB_DTD_UNORDERED, root_element="bib")
+    assert compiled.is_safe
+    assert "on-first past(author,title)" in compiled.flux_source
+    assert "for" in compiled.normalized_source
+    assert str(compiled) == compiled.flux_source
+
+
+def test_run_query_one_shot():
+    result = run_query(XMP_INTRO, DOC, BIB_DTD_USECASES, root_element="bib")
+    assert "<title>Streams</title>" in result.output
+    assert result.peak_buffered_events == 0
+    assert result.peak_buffered_bytes == 0
+
+
+def test_compare_engines_returns_all_three_rows():
+    comparison = compare_engines(XMP_INTRO, DOC, BIB_DTD_USECASES, root_element="bib")
+    assert set(comparison) == {"flux", "naive-dom", "projection-dom"}
+    outputs = {row["output"] for row in comparison.values()}
+    assert len(outputs) == 1
+    assert comparison["flux"]["peak_buffered_bytes"] <= comparison["projection-dom"]["peak_buffered_bytes"]
+    assert comparison["naive-dom"]["peak_buffered_bytes"] >= comparison["projection-dom"]["peak_buffered_bytes"]
+
+
+def test_engine_requires_root_information():
+    from repro.dtd.parser import parse_dtd
+
+    dtd = parse_dtd(BIB_DTD_USECASES)
+    with pytest.raises(ValueError):
+        FluxEngine(XMP_INTRO, dtd)
+    engine = FluxEngine(XMP_INTRO, dtd, root_element="bib")
+    assert engine.run(DOC).output
+
+
+def test_engine_exposes_rewrite_result():
+    engine = FluxEngine(XMP_INTRO, load_dtd(BIB_DTD_UNORDERED, root_element="bib"))
+    assert engine.rewrite_result is not None
+    assert engine.rewrite_result.normalized is not None
+    assert engine.plan.buffer_trees
+
+
+def test_run_query_with_file_source(tmp_path):
+    path = tmp_path / "bib.xml"
+    path.write_text(DOC, encoding="utf-8")
+    result = run_query(XMP_INTRO, path, BIB_DTD_USECASES, root_element="bib")
+    assert "<title>Streams</title>" in result.output
+
+
+def test_package_version_is_exposed():
+    import repro
+
+    assert repro.__version__

@@ -1,0 +1,263 @@
+"""Unit and property tests for order constraints, Past, first-past, cardinalities."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.dtd.ast import enumerate_words
+from repro.dtd.constraints import FirstPastTracker, OrderConstraints
+from repro.dtd.glushkov import INITIAL_STATE, build_glushkov
+from repro.dtd.parser import parse_content_model, parse_dtd
+
+
+def constraints_of(model: str) -> OrderConstraints:
+    return OrderConstraints(build_glushkov(parse_content_model(model)))
+
+
+# ---------------------------------------------------------------------------
+# Ord
+
+
+def test_paper_example_2_1_order_constraints():
+    oc = constraints_of("(a*,b,c*,(d|e*),a*)")
+    assert oc.ord("b", "c")
+    assert oc.ord("c", "d")
+    assert oc.ord("c", "e")
+    assert not oc.ord("a", "c")
+    # Transitivity noted in the paper: Ord(b, d) follows.
+    assert oc.ord("b", "d")
+
+
+def test_ord_on_interleaved_content_is_false():
+    oc = constraints_of("((title|author)*)")
+    assert not oc.ord("title", "author")
+    assert not oc.ord("author", "title")
+
+
+def test_ord_on_fixed_sequence():
+    oc = constraints_of("(title,(author+|editor+),publisher,price)")
+    assert oc.ord("title", "author")
+    assert oc.ord("author", "publisher")
+    assert oc.ord("title", "price")
+    assert not oc.ord("publisher", "title")
+
+
+def test_ord_is_vacuously_true_for_foreign_symbols():
+    oc = constraints_of("(title,author*)")
+    assert oc.ord("missing", "title")
+    assert oc.ord("title", "missing")
+
+
+def test_ord_useful_requires_the_anchor_to_occur():
+    # Example 4.6: Ord_article(author, book) must NOT discharge the
+    # dependency on author because 'book' cannot occur below an article.
+    oc = constraints_of("(title,author+,journal)")
+    assert oc.ord("author", "book")          # formal relation: vacuously true
+    assert not oc.ord_useful("author", "book")  # scheduling relation: not useful
+    assert oc.ord_useful("missing", "book")     # absent dependency: dischargeable
+    assert oc.ord_useful("title", "author")
+
+
+def test_ord_with_repeated_symbol():
+    oc = constraints_of("(a,b,a)")
+    assert not oc.ord("a", "a")
+    assert not oc.ord("a", "b")
+    assert not oc.ord("b", "a")
+    oc2 = constraints_of("(a,b)")
+    assert oc2.ord("a", "a")  # at most one a: vacuously ordered against itself
+
+
+# ---------------------------------------------------------------------------
+# Past / PastTable
+
+
+def test_past_after_final_occurrence():
+    oc = constraints_of("(a,b)")
+    auto = oc.automaton
+    state_a = auto.step(INITIAL_STATE, "a")
+    state_b = auto.step(state_a, "b")
+    assert oc.past(state_a, "a")
+    assert not oc.past(state_a, "b")
+    assert oc.past(state_b, "a")
+    assert oc.past(state_b, "b")
+
+
+def test_past_with_loop_is_not_past():
+    oc = constraints_of("(a*)")
+    auto = oc.automaton
+    state_a = auto.step(INITIAL_STATE, "a")
+    assert not oc.past(state_a, "a")
+
+
+def test_past_table_conjunction():
+    oc = constraints_of("(a,b,c)")
+    auto = oc.automaton
+    table = oc.past_table({"a", "b"})
+    state_a = auto.step(INITIAL_STATE, "a")
+    state_b = auto.step(state_a, "b")
+    assert not table[INITIAL_STATE]
+    assert not table[state_a]
+    assert table[state_b]
+
+
+def test_past_table_empty_set_is_always_true():
+    oc = constraints_of("(a,b)")
+    table = oc.past_table(frozenset())
+    assert all(table.values())
+
+
+# ---------------------------------------------------------------------------
+# first-past tracking
+
+
+def test_first_past_fires_once_at_earliest_point():
+    oc = constraints_of("(title,(author+|editor+),publisher,price)")
+    tracker = FirstPastTracker(oc, {"author", "title"})
+    assert not tracker.initial_fire()
+    assert not tracker.advance("title")
+    assert not tracker.advance("author")
+    # publisher is the first symbol after which neither title nor author can
+    # occur anymore.
+    assert tracker.advance("publisher")
+    assert tracker.fired
+    assert not tracker.advance("price")
+    assert not tracker.fire_at_end()
+
+
+def test_first_past_fires_at_start_for_impossible_symbols():
+    oc = constraints_of("(title,author*)")
+    tracker = FirstPastTracker(oc, {"zzz"})
+    assert tracker.initial_fire()
+
+
+def test_first_past_empty_set_fires_at_start():
+    oc = constraints_of("(title,author*)")
+    tracker = FirstPastTracker(oc, frozenset())
+    assert tracker.initial_fire()
+    assert not tracker.advance("title")
+
+
+def test_first_past_forced_at_end_when_symbols_may_always_come():
+    oc = constraints_of("((title|author)*)")
+    tracker = FirstPastTracker(oc, {"author"})
+    assert not tracker.initial_fire()
+    assert not tracker.advance("title")
+    assert not tracker.advance("author")
+    assert tracker.fire_at_end()
+    assert not tracker.fire_at_end()
+
+
+def test_first_past_invalid_child_does_not_crash():
+    oc = constraints_of("(a,b)")
+    tracker = FirstPastTracker(oc, {"a"})
+    assert not tracker.advance("zzz")
+    assert tracker.fire_at_end()
+
+
+# ---------------------------------------------------------------------------
+# Cardinalities
+
+
+def test_at_most_one_and_at_least_one():
+    oc = constraints_of("(title,author*,price?)")
+    assert oc.at_most_one("title")
+    assert oc.at_most_one("price")
+    assert not oc.at_most_one("author")
+    assert oc.at_least_one("title")
+    assert not oc.at_least_one("author")
+    assert not oc.at_least_one("price")
+    assert oc.exactly_one("title")
+    assert not oc.exactly_one("price")
+
+
+def test_cardinalities_with_choice():
+    oc = constraints_of("((author+|editor+))")
+    assert not oc.at_most_one("author")
+    assert not oc.at_least_one("author")  # an editor-only word avoids authors
+    assert not oc.at_least_one("editor")
+
+
+def test_cardinality_of_foreign_symbol():
+    oc = constraints_of("(a,b)")
+    assert oc.at_most_one("zzz")
+    assert not oc.at_least_one("zzz")
+
+
+def test_dtd_level_accessors(bib_dtd_usecases):
+    assert bib_dtd_usecases.ord("book", "title", "author")
+    assert not bib_dtd_usecases.ord("book", "author", "title")
+    constraints = bib_dtd_usecases.constraints("book")
+    assert constraints.at_most_one("title")
+    assert constraints.at_most_one("publisher")
+
+
+# ---------------------------------------------------------------------------
+# Property tests against brute-force enumeration
+
+
+_MODELS = (
+    "(a*,b,c*,(d|e*),a*)",
+    "(a,b,c)",
+    "((a|b)*,c)",
+    "(a?,b*,c+)",
+    "((a|b|c)*)",
+    "(a,(b|c)*,a?)",
+    "(title,(author+|editor+),publisher)",
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.sampled_from(_MODELS), st.data())
+def test_ord_matches_brute_force_on_enumerated_words(model, data):
+    particle = parse_content_model(model)
+    oc = OrderConstraints(build_glushkov(particle))
+    words = list(enumerate_words(particle, max_length=5))
+    symbols = sorted(particle.symbols())
+    first = data.draw(st.sampled_from(symbols))
+    second = data.draw(st.sampled_from(symbols))
+    # Brute force: Ord(first, second) iff no enumerated word has a `first`
+    # occurring after a `second`.
+    violated = any(
+        i < j
+        for word in words
+        for i, x in enumerate(word)
+        for j, y in enumerate(word)
+        if x == second and y == first
+    )
+    assert oc.ord(first, second) == (not violated)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.sampled_from(_MODELS), st.data())
+def test_first_past_never_fires_too_early(model, data):
+    """If first-past(S) has fired after prefix u, no enumerated completion of u
+    may contain a symbol of S."""
+    particle = parse_content_model(model)
+    oc = OrderConstraints(build_glushkov(particle))
+    words = list(enumerate_words(particle, max_length=5))
+    if not words:
+        return
+    word = data.draw(st.sampled_from(words))
+    symbols = sorted(particle.symbols())
+    watch = frozenset(data.draw(st.sets(st.sampled_from(symbols), min_size=1, max_size=2)))
+    tracker = FirstPastTracker(oc, watch)
+    fired_at = 0 if tracker.initial_fire() else None
+    for index, symbol in enumerate(word, start=1):
+        if tracker.advance(symbol) and fired_at is None:
+            fired_at = index
+    if fired_at is None:
+        return
+    # No word extending the fired prefix may still contain a watched symbol.
+    prefix = word[:fired_at]
+    for other in words:
+        if other[: len(prefix)] == prefix:
+            assert not any(symbol in watch for symbol in other[len(prefix):])
+
+
+def test_at_most_one_matches_brute_force():
+    for model in _MODELS:
+        particle = parse_content_model(model)
+        oc = OrderConstraints(build_glushkov(particle))
+        words = list(enumerate_words(particle, max_length=5))
+        for symbol in particle.symbols():
+            repeated = any(word.count(symbol) > 1 for word in words)
+            if oc.at_most_one(symbol):
+                assert not repeated

@@ -1,0 +1,149 @@
+"""Unit and property tests for the Glushkov automaton construction."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dtd.ast import (
+    Choice,
+    Epsilon,
+    Optional as OptionalParticle,
+    Plus,
+    Sequence,
+    Star,
+    Symbol,
+    enumerate_words,
+    matches_word,
+)
+from repro.dtd.errors import NotOneUnambiguousError
+from repro.dtd.glushkov import INITIAL_STATE, build_glushkov
+from repro.dtd.parser import parse_content_model
+
+
+def test_simple_sequence_acceptance():
+    auto = build_glushkov(parse_content_model("(a,b,c)"))
+    assert auto.accepts(["a", "b", "c"])
+    assert not auto.accepts(["a", "b"])
+    assert not auto.accepts(["a", "c", "b"])
+    assert not auto.accepts([])
+
+
+def test_star_and_optional_acceptance():
+    auto = build_glushkov(parse_content_model("(a*,b?)"))
+    assert auto.accepts([])
+    assert auto.accepts(["a", "a", "a"])
+    assert auto.accepts(["a", "b"])
+    assert auto.accepts(["b"])
+    assert not auto.accepts(["b", "a"])
+
+
+def test_plus_requires_at_least_one():
+    auto = build_glushkov(parse_content_model("(a+)"))
+    assert not auto.accepts([])
+    assert auto.accepts(["a"])
+    assert auto.accepts(["a", "a"])
+
+
+def test_choice_acceptance():
+    auto = build_glushkov(parse_content_model("(title,(author+|editor+),publisher)"))
+    assert auto.accepts(["title", "author", "publisher"])
+    assert auto.accepts(["title", "editor", "editor", "publisher"])
+    assert not auto.accepts(["title", "author", "editor", "publisher"])
+    assert not auto.accepts(["title", "publisher"])
+
+
+def test_paper_example_2_1_language():
+    auto = build_glushkov(parse_content_model("(a*,b,c*,(d|e*),a*)"))
+    assert auto.accepts(["b"])
+    assert auto.accepts(["a", "b", "c", "d", "a"])
+    assert auto.accepts(["b", "e", "e"])
+    assert not auto.accepts(["c", "b"])
+    assert not auto.accepts(["b", "d", "e"])
+
+
+def test_state_symbols_and_initial_state():
+    auto = build_glushkov(parse_content_model("(a,b)"))
+    assert auto.state_symbol(INITIAL_STATE) is None
+    labels = {auto.state_symbol(state) for state in auto.states if state != INITIAL_STATE}
+    assert labels == {"a", "b"}
+    assert auto.states_labelled("a") and auto.states_labelled("b")
+
+
+def test_epsilon_only_language():
+    auto = build_glushkov(Epsilon())
+    assert auto.accepts([])
+    assert not auto.accepts(["a"])
+
+
+def test_allowed_symbols_reports_outgoing_transitions():
+    auto = build_glushkov(parse_content_model("(a,b?)"))
+    assert auto.allowed_symbols(INITIAL_STATE) == {"a"}
+
+
+def test_non_one_unambiguous_expression_is_rejected():
+    # (a,b)|(a,c) is the classic example of a non-one-unambiguous expression.
+    particle = Choice([Sequence([Symbol("a"), Symbol("b")]), Sequence([Symbol("a"), Symbol("c")])])
+    with pytest.raises(NotOneUnambiguousError):
+        build_glushkov(particle)
+
+
+def test_non_deterministic_check_can_be_disabled():
+    particle = Choice([Sequence([Symbol("a"), Symbol("b")]), Sequence([Symbol("a"), Symbol("c")])])
+    auto = build_glushkov(particle, check_deterministic=False)
+    assert auto.accepts(["a", "b"])
+
+
+# ---------------------------------------------------------------------------
+# Property tests: the automaton agrees with the derivative matcher
+
+
+_SYMBOLS = ("a", "b", "c")
+
+
+@st.composite
+def one_unambiguous_particles(draw, depth=0):
+    """Random particles built so that sibling branches use disjoint symbols.
+
+    Using disjoint leading symbols per construction keeps the expressions
+    one-unambiguous, so the Glushkov construction never rejects them.
+    """
+    if depth >= 2:
+        return Symbol(draw(st.sampled_from(_SYMBOLS)))
+    kind = draw(st.sampled_from(["symbol", "seq", "choice", "star", "plus", "opt"]))
+    if kind == "symbol":
+        return Symbol(draw(st.sampled_from(_SYMBOLS)))
+    if kind in ("star", "plus", "opt"):
+        inner = draw(one_unambiguous_particles(depth + 1))
+        return {"star": Star, "plus": Plus, "opt": OptionalParticle}[kind](inner)
+    if kind == "choice":
+        # Choices over distinct single symbols (guaranteed unambiguous).
+        symbols = draw(st.lists(st.sampled_from(_SYMBOLS), min_size=2, max_size=3, unique=True))
+        return Choice([Symbol(s) for s in symbols])
+    items = [draw(one_unambiguous_particles(depth + 1)) for _ in range(draw(st.integers(2, 3)))]
+    return Sequence(items)
+
+
+def _is_one_unambiguous(particle):
+    try:
+        build_glushkov(particle)
+        return True
+    except NotOneUnambiguousError:
+        return False
+
+
+@settings(max_examples=80, deadline=None)
+@given(one_unambiguous_particles(), st.lists(st.sampled_from(_SYMBOLS), max_size=6))
+def test_glushkov_agrees_with_derivative_matcher(particle, word):
+    if not _is_one_unambiguous(particle):
+        return
+    auto = build_glushkov(particle)
+    assert auto.accepts(word) == matches_word(particle, tuple(word))
+
+
+@settings(max_examples=40, deadline=None)
+@given(one_unambiguous_particles())
+def test_glushkov_accepts_all_enumerated_words(particle):
+    if not _is_one_unambiguous(particle):
+        return
+    auto = build_glushkov(particle)
+    for word in enumerate_words(particle, max_length=4):
+        assert auto.accepts(word)

@@ -1,0 +1,141 @@
+"""Unit tests for the DTD parser and the schema object model."""
+
+import pytest
+
+from repro.dtd.ast import (
+    AnyContent,
+    Choice,
+    EmptyContent,
+    MixedContent,
+    Optional as OptionalParticle,
+    PCDataContent,
+    Plus,
+    Sequence,
+    Star,
+    Symbol,
+)
+from repro.dtd.errors import DTDError, DTDSyntaxError, UnknownElementError
+from repro.dtd.parser import parse_content_model, parse_dtd
+from repro.dtd.schema import ROOT_ELEMENT
+
+
+def test_parse_symbol_and_modifiers():
+    assert parse_content_model("(book)*") == Star(Symbol("book"))
+    assert parse_content_model("(book)+") == Plus(Symbol("book"))
+    assert parse_content_model("(book)?") == OptionalParticle(Symbol("book"))
+
+
+def test_parse_sequence_and_choice():
+    model = parse_content_model("(title,(author+|editor+),publisher)")
+    assert isinstance(model, Sequence)
+    assert model.items[0] == Symbol("title")
+    assert isinstance(model.items[1], Choice)
+    assert model.items[2] == Symbol("publisher")
+
+
+def test_parse_nested_modifiers():
+    model = parse_content_model("(a*,b,c*,(d|e*),a*)")
+    assert isinstance(model, Sequence)
+    assert model.symbols() == {"a", "b", "c", "d", "e"}
+
+
+def test_parse_special_content_kinds():
+    assert parse_content_model("EMPTY") == EmptyContent()
+    assert parse_content_model("ANY") == AnyContent()
+    assert parse_content_model("(#PCDATA)") == PCDataContent()
+    assert parse_content_model("(#PCDATA|b|i)*") == MixedContent(("b", "i"))
+
+
+def test_mixing_separators_at_same_level_is_rejected():
+    with pytest.raises(DTDSyntaxError):
+        parse_content_model("(a,b|c)")
+
+
+def test_mixed_content_requires_star():
+    with pytest.raises(DTDSyntaxError):
+        parse_content_model("(#PCDATA|b)")
+
+
+def test_parse_dtd_declarations_and_lookup():
+    dtd = parse_dtd(
+        """
+        <!-- bibliography -->
+        <!ELEMENT bib (book)*>
+        <!ELEMENT book (title, author*)>
+        <!ELEMENT title (#PCDATA)>
+        <!ELEMENT author (#PCDATA)>
+        """
+    )
+    assert set(dtd.element_names) == {"bib", "book", "title", "author"}
+    assert dtd.symbols("book") == {"title", "author"}
+    assert dtd.allows_text("title")
+    assert not dtd.allows_text("book")
+
+
+def test_duplicate_declaration_is_rejected():
+    with pytest.raises(DTDError):
+        parse_dtd("<!ELEMENT a (b)> <!ELEMENT a (c)> <!ELEMENT b EMPTY> <!ELEMENT c EMPTY>")
+
+
+def test_unknown_element_lookup_raises():
+    dtd = parse_dtd("<!ELEMENT a EMPTY>")
+    with pytest.raises(UnknownElementError):
+        dtd.declaration("missing")
+
+
+def test_attlist_declarations_are_recorded():
+    dtd = parse_dtd(
+        """
+        <!ELEMENT person (name)>
+        <!ELEMENT name (#PCDATA)>
+        <!ATTLIST person id CDATA #REQUIRED income CDATA #IMPLIED>
+        """
+    )
+    assert dtd.attributes_of("person") == ("id", "income")
+    assert dtd.attributes_of("name") == ()
+
+
+def test_with_root_adds_virtual_root():
+    dtd = parse_dtd("<!ELEMENT bib (book)*> <!ELEMENT book (#PCDATA)>")
+    rooted = dtd.with_root("bib")
+    assert ROOT_ELEMENT in rooted
+    assert rooted.root_element == "bib"
+    assert rooted.symbols(ROOT_ELEMENT) == {"bib"}
+    # The original DTD is not modified.
+    assert ROOT_ELEMENT not in dtd
+
+
+def test_with_root_requires_declared_element():
+    dtd = parse_dtd("<!ELEMENT bib (book)*> <!ELEMENT book (#PCDATA)>")
+    with pytest.raises(UnknownElementError):
+        dtd.with_root("article")
+
+
+def test_any_content_symbols_cover_all_elements():
+    dtd = parse_dtd("<!ELEMENT a ANY> <!ELEMENT b EMPTY> <!ELEMENT c (#PCDATA)>")
+    assert dtd.symbols("a") == {"a", "b", "c"}
+    assert dtd.allows_text("a")
+
+
+def test_to_source_round_trips_through_parser():
+    source = """
+    <!ELEMENT bib (book|article)*>
+    <!ELEMENT book (title,(author+|editor+),publisher)>
+    <!ELEMENT article (title,author+,journal)>
+    <!ELEMENT title (#PCDATA)>
+    <!ELEMENT author (#PCDATA)>
+    <!ELEMENT editor (#PCDATA)>
+    <!ELEMENT publisher (#PCDATA)>
+    <!ELEMENT journal (#PCDATA)>
+    """
+    dtd = parse_dtd(source)
+    reparsed = parse_dtd(dtd.to_source())
+    assert set(reparsed.element_names) == set(dtd.element_names)
+    assert reparsed.symbols("book") == dtd.symbols("book")
+
+
+def test_unparseable_input_raises():
+    with pytest.raises(DTDSyntaxError):
+        parse_dtd("<!ELEMENT broken (a >")
+    with pytest.raises(DTDSyntaxError):
+        parse_dtd("garbage")

@@ -1,0 +1,100 @@
+"""Unit tests for the streaming DTD validator."""
+
+import pytest
+
+from repro.dtd.errors import ValidationError
+from repro.dtd.parser import parse_dtd
+from repro.dtd.validator import StreamValidator, validate_document
+from repro.xmlstream.parser import iter_events
+
+BIB = """
+<!ELEMENT bib (book)*>
+<!ELEMENT book (title,author+,price?)>
+<!ELEMENT title (#PCDATA)>
+<!ELEMENT author (#PCDATA)>
+<!ELEMENT price (#PCDATA)>
+"""
+
+
+def _validate(doc, dtd_source=BIB, root="bib"):
+    dtd = parse_dtd(dtd_source).with_root(root)
+    return validate_document(dtd, iter_events(doc), expected_root=root)
+
+
+def test_valid_document_passes():
+    report = _validate(
+        "<bib><book><title>T</title><author>A</author><price>3</price></book></bib>"
+    )
+    assert report.is_valid
+    assert report.element_count == 5
+
+
+def test_wrong_root_is_reported():
+    report = _validate("<library></library>")
+    assert not report.is_valid
+    assert "root element" in report.errors[0]
+
+
+def test_missing_required_child_is_reported():
+    report = _validate("<bib><book><title>T</title></book></bib>")
+    assert not report.is_valid
+    assert "incomplete content" in report.errors[0]
+
+
+def test_child_out_of_order_is_reported():
+    report = _validate("<bib><book><author>A</author><title>T</title></book></bib>")
+    assert not report.is_valid
+    assert "not allowed at this position" in report.errors[0]
+
+
+def test_undeclared_element_is_reported():
+    report = _validate("<bib><magazine/></bib>")
+    assert not report.is_valid
+    assert any("not declared" in error for error in report.errors)
+
+
+def test_text_in_element_only_content_is_reported():
+    report = _validate("<bib>stray text<book><title>T</title><author>A</author></book></bib>")
+    assert not report.is_valid
+    assert any("character data" in error for error in report.errors)
+
+
+def test_strict_mode_raises_immediately():
+    dtd = parse_dtd(BIB).with_root("bib")
+    validator = StreamValidator(dtd, strict=True)
+    with pytest.raises(ValidationError):
+        validator.validate(iter_events("<bib><magazine/></bib>"))
+
+
+def test_iter_validated_passes_events_through():
+    dtd = parse_dtd(BIB).with_root("bib")
+    validator = StreamValidator(dtd)
+    doc = "<bib><book><title>T</title><author>A</author></book></bib>"
+    events = list(validator.iter_validated(iter_events(doc)))
+    assert len(events) == len(list(iter_events(doc)))
+    assert validator.report.is_valid
+
+
+def test_only_first_violation_per_parent_is_reported():
+    # After the first out-of-place child the parent's state is abandoned, so a
+    # cascade of follow-up errors inside the same parent is avoided.
+    report = _validate(
+        "<bib><book><author>A</author><author>B</author><title>T</title></book></bib>"
+    )
+    errors_for_book = [error for error in report.errors if "inside <book>" in error]
+    assert len(errors_for_book) == 1
+
+
+def test_generated_xmark_document_is_valid(xmark_schema, small_xmark_document):
+    report = validate_document(
+        xmark_schema, iter_events(small_xmark_document), expected_root="site"
+    )
+    assert report.is_valid, report.errors[:5]
+
+
+def test_mixed_content_allows_text():
+    dtd = parse_dtd(
+        "<!ELEMENT note (#PCDATA|em)*> <!ELEMENT em (#PCDATA)>"
+    ).with_root("note")
+    report = validate_document(dtd, iter_events("<note>hello <em>world</em>!</note>"))
+    assert report.is_valid

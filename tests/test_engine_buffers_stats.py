@@ -1,0 +1,116 @@
+"""Unit tests for event buffers, the buffer manager and run statistics."""
+
+import pytest
+
+from repro.engine.buffers import BufferManager
+from repro.engine.stats import RunStatistics
+from repro.xmlstream.events import Characters, EndElement, StartElement
+
+
+def test_buffer_append_updates_stats():
+    stats = RunStatistics()
+    manager = BufferManager(stats)
+    buffer = manager.create_buffer("$b")
+    buffer.append(StartElement("author"))
+    buffer.append(Characters("Koch"))
+    buffer.append(EndElement("author"))
+    assert len(buffer) == 3
+    assert stats.buffered_events_current == 3
+    assert stats.peak_buffered_events == 3
+    assert stats.buffered_bytes_current == buffer.cost_bytes > 0
+
+
+def test_release_returns_memory_but_keeps_peak():
+    stats = RunStatistics()
+    manager = BufferManager(stats)
+    buffer = manager.create_buffer()
+    buffer.extend([StartElement("a"), EndElement("a")])
+    peak = stats.peak_buffered_bytes
+    buffer.release()
+    assert stats.buffered_events_current == 0
+    assert stats.buffered_bytes_current == 0
+    assert stats.peak_buffered_bytes == peak
+    # releasing twice is harmless
+    buffer.release()
+    assert manager.live_buffers == 0
+
+
+def test_append_after_release_is_rejected():
+    manager = BufferManager()
+    buffer = manager.create_buffer()
+    buffer.release()
+    with pytest.raises(RuntimeError):
+        buffer.append(StartElement("a"))
+
+
+def test_peak_tracks_concurrent_buffers():
+    stats = RunStatistics()
+    manager = BufferManager(stats)
+    first = manager.create_buffer()
+    second = manager.create_buffer()
+    first.extend([StartElement("a"), EndElement("a")])
+    second.extend([StartElement("b"), EndElement("b")])
+    assert stats.peak_buffered_events == 4
+    first.release()
+    second.extend([StartElement("c"), EndElement("c")])
+    # current went down to 2 then up to 4 again; the peak stays at 4.
+    assert stats.buffered_events_current == 4
+    assert stats.peak_buffered_events == 4
+
+
+def test_buffer_to_tree_wraps_forest_under_scope_name():
+    manager = BufferManager()
+    buffer = manager.create_buffer()
+    buffer.extend(
+        [
+            StartElement("author"),
+            Characters("Koch"),
+            EndElement("author"),
+            StartElement("author"),
+            Characters("Scherzinger"),
+            EndElement("author"),
+        ]
+    )
+    tree = buffer.to_tree("book")
+    assert tree.name == "book"
+    assert [node.text_content() for node in tree.children_named("author")] == [
+        "Koch",
+        "Scherzinger",
+    ]
+
+
+def test_buffer_to_single_node_for_root_marked_capture():
+    manager = BufferManager()
+    buffer = manager.create_buffer()
+    buffer.extend(
+        [StartElement("person"), StartElement("name"), Characters("Ada"), EndElement("name"), EndElement("person")]
+    )
+    node = buffer.to_single_node()
+    assert node.name == "person"
+    assert node.select_path(("name",))[0].text_content() == "Ada"
+
+
+def test_empty_buffer_materialisations():
+    manager = BufferManager()
+    buffer = manager.create_buffer()
+    assert buffer.to_single_node() is None
+    assert buffer.to_tree("x").name == "x"
+
+
+def test_condition_byte_accounting():
+    stats = RunStatistics()
+    stats.record_condition_bytes(10)
+    stats.record_condition_bytes(5)
+    stats.record_condition_bytes(-15)
+    assert stats.condition_bytes_current == 0
+    assert stats.peak_condition_bytes == 15
+
+
+def test_stats_summary_mentions_key_figures():
+    stats = RunStatistics()
+    stats.record_input(10, 100)
+    stats.record_output(5, 50)
+    stats.record_buffered(3, 30)
+    summary = stats.summary()
+    assert "peak-buffer=3" in summary
+    assert "in=10" in summary

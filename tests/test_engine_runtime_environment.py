@@ -1,0 +1,142 @@
+"""Unit tests for the runtime environment used by on-first handler execution."""
+
+import pytest
+
+from repro.engine.buffers import BufferManager
+from repro.engine.projection import build_buffer_tree
+from repro.engine.xquery_exec import (
+    RuntimeEnvironment,
+    ScopeBinding,
+    evaluate_condition_runtime,
+    execute_expression,
+)
+from repro.xmlstream.events import Characters, EndElement, StartElement
+from repro.xmlstream.tree import XMLNode
+from repro.xquery.errors import XQueryEvaluationError
+from repro.xquery.parser import parse_condition, parse_query
+
+
+class _ListSink:
+    def __init__(self):
+        self.parts = []
+
+    def write_text(self, text):
+        self.parts.append(text)
+
+    def write_node(self, node):
+        from repro.xmlstream.serializer import serialize_events
+
+        self.parts.append(serialize_events(node.to_events()))
+
+    def text(self):
+        return "".join(self.parts)
+
+
+def _book_scope_binding():
+    """A $b scope whose buffer holds two authors; title is tracked as a value."""
+    manager = BufferManager()
+    buffer = manager.create_buffer("$b")
+    buffer.extend(
+        [
+            StartElement("author"),
+            Characters("Koch"),
+            EndElement("author"),
+            StartElement("author"),
+            Characters("Scherzinger"),
+            EndElement("author"),
+        ]
+    )
+    tree = build_buffer_tree({("author",): True})
+    return ScopeBinding(
+        "$b",
+        "book",
+        buffer=buffer,
+        buffer_tree=tree,
+        value_store={("title",): ["Streams"], ("year",): ["1994"]},
+    )
+
+
+def test_resolve_nodes_from_buffered_paths():
+    env = RuntimeEnvironment({"$b": _book_scope_binding()})
+    nodes = env.resolve_nodes("$b", ("author",))
+    assert [node.text_content() for node in nodes] == ["Koch", "Scherzinger"]
+
+
+def test_resolve_values_prefers_buffer_then_value_store():
+    env = RuntimeEnvironment({"$b": _book_scope_binding()})
+    assert env.resolve_values("$b", ("author",)) == ["Koch", "Scherzinger"]
+    assert env.resolve_values("$b", ("title",)) == ["Streams"]
+    assert env.resolve_values("$b", ("unknown",)) == []
+
+
+def test_resolve_count_for_exists_and_empty():
+    env = RuntimeEnvironment({"$b": _book_scope_binding()})
+    assert env.resolve_count("$b", ("author",)) == 2
+    assert env.resolve_count("$b", ("title",)) == 1
+    assert env.resolve_count("$b", ("unknown",)) == 0
+
+
+def test_with_node_binds_loop_variables_without_mutating_parent():
+    env = RuntimeEnvironment({"$b": _book_scope_binding()})
+    author = XMLNode("author", ["Koch"])
+    child = env.with_node("$a", author)
+    assert child.resolve_values("$a", ()) == ["Koch"]
+    with pytest.raises(XQueryEvaluationError):
+        env.binding("$a")
+
+
+def test_unbound_variable_raises():
+    env = RuntimeEnvironment({})
+    with pytest.raises(XQueryEvaluationError):
+        env.resolve_nodes("$missing", ("a",))
+
+
+def test_execute_expression_over_buffers():
+    env = RuntimeEnvironment({"$b": _book_scope_binding()})
+    sink = _ListSink()
+    expr = parse_query("<rs>{ for $a in $b/author return <r>{$a}</r> }</rs>")
+    execute_expression(expr, env, sink)
+    assert sink.text() == (
+        "<rs><r><author>Koch</author></r><r><author>Scherzinger</author></r></rs>"
+    )
+
+
+def test_conditions_over_mixed_buffer_and_value_store():
+    env = RuntimeEnvironment({"$b": _book_scope_binding()})
+    assert evaluate_condition_runtime(parse_condition('$b/title = "Streams"'), env)
+    assert evaluate_condition_runtime(parse_condition("$b/year > 1991"), env)
+    assert not evaluate_condition_runtime(parse_condition("$b/year > 2000"), env)
+    assert evaluate_condition_runtime(parse_condition("exists $b/author"), env)
+    assert evaluate_condition_runtime(parse_condition("empty($b/editor)"), env)
+
+
+def test_root_marked_scope_materialises_the_element_itself():
+    manager = BufferManager()
+    buffer = manager.create_buffer("$p")
+    buffer.extend(
+        [
+            StartElement("person"),
+            StartElement("name"),
+            Characters("Ada"),
+            EndElement("name"),
+            EndElement("person"),
+        ]
+    )
+    binding = ScopeBinding(
+        "$p", "person", buffer=buffer, buffer_tree=build_buffer_tree({(): True})
+    )
+    env = RuntimeEnvironment({"$p": binding})
+    sink = _ListSink()
+    execute_expression(parse_query("{$p}"), env, sink)
+    assert sink.text() == "<person><name>Ada</name></person>"
+    assert env.resolve_values("$p", ("name",)) == ["Ada"]
+
+
+def test_scope_binding_without_buffer_behaves_as_empty():
+    binding = ScopeBinding("$x", "thing")
+    env = RuntimeEnvironment({"$x": binding})
+    assert env.resolve_nodes("$x", ("a",)) == []
+    assert env.resolve_count("$x", ("a",)) == 0
+    sink = _ListSink()
+    execute_expression(parse_query("{ for $a in $x/a return {$a} }"), env, sink)
+    assert sink.text() == ""

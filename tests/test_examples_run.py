@@ -1,0 +1,58 @@
+"""Smoke tests: every example script runs to completion.
+
+The examples are part of the public deliverable; these tests execute them in
+a subprocess (with small workloads where they accept arguments) and check
+that they succeed and print the expected landmarks.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def _run(script: str, *args: str) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script), *args],
+        capture_output=True,
+        text=True,
+        timeout=300,
+        check=False,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+def test_quickstart_example():
+    out = _run("quickstart.py")
+    assert "scheduled FluX query" in out
+    assert "reference output identical: True" in out
+
+
+def test_bibliography_usecases_example():
+    out = _run("bibliography_usecases.py")
+    assert "XMP Q1" in out and "XMP Q3" in out
+    assert "result matches the in-memory reference: True" in out
+    assert "result matches the in-memory reference: False" not in out
+
+
+def test_buffer_analysis_example():
+    out = _run("buffer_analysis.py")
+    assert "order constraints" in out
+    assert "scheduled FluX query" in out
+
+
+def test_streaming_pipeline_example():
+    out = _run("streaming_pipeline.py", "0.05")
+    buffered_line = next(line for line in out.splitlines() if "peak buffered events" in line)
+    assert buffered_line.rstrip().endswith("0")
+    assert "pass over the stream" in out
+
+
+def test_xmark_benchmark_example_small_scale():
+    out = _run("xmark_benchmark.py", "0.03")
+    assert "flux" in out and "naive-dom" in out
+    assert "Shape to look for" in out

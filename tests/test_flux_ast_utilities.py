@@ -1,0 +1,76 @@
+"""Unit tests for FluX AST helpers (hsymb, traversal, maximal subexpressions)."""
+
+from repro.flux.ast import (
+    OnFirstHandler,
+    OnHandler,
+    ProcessStream,
+    SimpleFlux,
+    handler_symbols,
+    iter_process_streams,
+    maximal_xquery_subexpressions,
+)
+from repro.flux.parser import parse_flux
+from repro.xquery.ast import ForExpr, TextExpr, VarOutputExpr
+from repro.xquery.parser import parse_query
+
+INTRO = """
+{ ps $ROOT: on bib as $bib return
+  { ps $bib: on book as $book return
+    { ps $book:
+      on title as $t return {$t};
+      on-first past(title,author) return { for $a in $book/author return {$a} } } } }
+"""
+
+
+def test_handler_symbols_follows_the_paper_definition():
+    handlers = (
+        OnHandler("a", "$x", SimpleFlux(VarOutputExpr("$x"))),
+        OnFirstHandler(frozenset({"b", "c"}), TextExpr("<x/>")),
+        OnFirstHandler(None, TextExpr("<y/>")),  # past(*) contributes nothing
+    )
+    assert handler_symbols(handlers) == {"a", "b", "c"}
+    assert handler_symbols(()) == frozenset()
+
+
+def test_iter_process_streams_visits_nested_blocks():
+    flux = parse_flux(INTRO)
+    variables = [block.var for block in iter_process_streams(flux)]
+    assert variables == ["$ROOT", "$bib", "$book"]
+
+
+def test_iter_process_streams_on_simple_flux_is_empty():
+    assert list(iter_process_streams(SimpleFlux(TextExpr("<a/>")))) == []
+
+
+def test_maximal_xquery_subexpressions_of_intro_query():
+    # Example 3.5: the maximal XQuery- subexpressions are {$t} and the
+    # for-loop over the buffered authors.
+    flux = parse_flux(INTRO)
+    subexpressions = maximal_xquery_subexpressions(flux)
+    assert len(subexpressions) == 2
+    assert VarOutputExpr("$t") in subexpressions
+    assert any(isinstance(expr, ForExpr) and expr.path == ("author",) for expr in subexpressions)
+
+
+def test_maximal_subexpressions_of_simple_flux_is_the_expression_itself():
+    expr = parse_query("<a> {$x} </a>")
+    assert maximal_xquery_subexpressions(SimpleFlux(expr)) == [expr]
+
+
+def test_on_first_handler_past_all_flag():
+    assert OnFirstHandler(None, TextExpr("")).is_past_all
+    assert not OnFirstHandler(frozenset(), TextExpr("")).is_past_all
+
+
+def test_process_stream_handler_accessors():
+    flux = parse_flux(INTRO)
+    book_block = flux.handlers[0].body.handlers[0].body
+    assert len(book_block.on_handlers()) == 1
+    assert len(book_block.on_first_handlers()) == 1
+    assert book_block.on_handlers()[0].label == "title"
+
+
+def test_flux_source_round_trip_preserves_handler_order():
+    flux = parse_flux(INTRO)
+    printed = flux.to_source()
+    assert printed.index("on title") < printed.index("on-first past(author,title)")

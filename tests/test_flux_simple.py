@@ -1,0 +1,67 @@
+"""Unit tests for the simple-expression classification (Section 3.2)."""
+
+from repro.flux.simple import decompose_simple, is_simple
+from repro.xquery.parser import parse_query
+
+
+def test_fixed_strings_are_simple():
+    assert is_simple(parse_query("<a>hello</a>"))
+
+
+def test_conditional_string_is_simple():
+    assert is_simple(parse_query("{ if $x/b = 5 then <b>5</b> }"))
+
+
+def test_paper_example_simple_expression():
+    # "<a>{$x}</a> {if $x/b=5 then <b>5</b>}" is simple per the paper.
+    expr = parse_query("<a>{$x}</a> { if $x/b = 5 then <b>5</b> }")
+    decomposition = decompose_simple(expr)
+    assert decomposition is not None
+    assert decomposition.copy_var == "$x"
+    assert [part.text for part in decomposition.prefix] == ["<a>"]
+    assert [part.text for part in decomposition.suffix] == ["</a>", "<b>5</b>"]
+
+
+def test_two_variable_outputs_are_not_simple():
+    # "{$x}{$y}" is the paper's example of a non-simple expression.
+    assert not is_simple(parse_query("{$x} {$y}"))
+
+
+def test_conditional_copy_is_simple_when_condition_avoids_the_variable():
+    expr = parse_query("{ if $b/id = 'p0' then {$n} }")
+    decomposition = decompose_simple(expr)
+    assert decomposition is not None
+    assert decomposition.copy_var == "$n"
+    assert decomposition.copy_condition is not None
+
+
+def test_condition_on_copied_variable_is_not_simple():
+    # Condition mentions the copied variable itself -> not simple.
+    assert not is_simple(parse_query("{ if $x/b = 5 then {$x} }"))
+
+
+def test_condition_on_copied_variable_in_prefix_is_not_simple():
+    assert not is_simple(parse_query("{ if $x/a = 1 then <y/> } {$x}"))
+
+
+def test_condition_on_copied_variable_in_suffix_is_allowed_by_definition():
+    # Definition 3.3 only restricts conditions in α β, not in γ.
+    assert is_simple(parse_query("{$x} { if $x/a = 1 then <y/> }"))
+
+
+def test_for_loops_are_not_simple():
+    assert not is_simple(parse_query("{ for $a in $x/author return {$a} }"))
+
+
+def test_conditional_for_is_not_simple():
+    assert not is_simple(parse_query("{ if $x/a = 1 then { for $a in $x/b return {$a} } }"))
+
+
+def test_empty_expression_is_simple():
+    decomposition = decompose_simple(parse_query("   "))
+    assert decomposition is not None
+    assert not decomposition.has_copy
+
+
+def test_path_output_is_not_a_copy_part():
+    assert not is_simple(parse_query("<a/> {$x/b} <c/>"))

@@ -1,0 +1,90 @@
+"""Integration tests: the full pipeline on the XMark workload (Section 6).
+
+These tests assert the qualitative claims of the paper's evaluation:
+
+* all engines agree on every query result,
+* Q1 and Q13 run without any buffering,
+* Q20 buffers at most one person element at a time,
+* Q8 and Q11 buffer only a small projected fraction of the document,
+* FluX peak memory is far below the naive engine's and below the projection
+  baseline's.
+"""
+
+import pytest
+
+from repro import FluxEngine, NaiveDomEngine, ProjectionDomEngine
+from repro.xmark.dtd import xmark_dtd
+from repro.xmark.queries import BENCHMARK_QUERIES
+from repro.xmlstream.parser import parse_tree
+
+
+@pytest.fixture(scope="module")
+def engines_results(medium_xmark_document):
+    """Run every benchmark query on every engine once (shared across tests)."""
+    results = {}
+    for name, query in BENCHMARK_QUERIES.items():
+        flux = FluxEngine(query, xmark_dtd()).run(medium_xmark_document)
+        naive = NaiveDomEngine(query).run(medium_xmark_document)
+        projection = ProjectionDomEngine(query).run(medium_xmark_document)
+        results[name] = (flux, naive, projection)
+    return results
+
+
+@pytest.mark.parametrize("name", sorted(BENCHMARK_QUERIES))
+def test_all_engines_agree(engines_results, name):
+    flux, naive, projection = engines_results[name]
+    assert flux.output == naive.output
+    assert projection.output == naive.output
+
+
+@pytest.mark.parametrize("name", ["Q1", "Q13"])
+def test_streamable_queries_buffer_nothing(engines_results, name):
+    flux, _naive, _projection = engines_results[name]
+    assert flux.stats.peak_buffered_events == 0
+    assert flux.stats.peak_buffered_bytes == 0
+
+
+def test_q20_buffers_a_single_person_at_a_time(engines_results, medium_xmark_document):
+    flux, _naive, _projection = engines_results["Q20"]
+    assert flux.stats.peak_buffered_events > 0
+    # The peak must be bounded by the largest single person subtree, which is
+    # far smaller than the people subtree as a whole.
+    root = parse_tree(medium_xmark_document)
+    people = root.select_path(("people", "person"))
+    largest_person_events = max(len(person.to_events()) for person in people)
+    total_people_events = sum(len(person.to_events()) for person in people)
+    assert flux.stats.peak_buffered_events <= largest_person_events
+    assert flux.stats.peak_buffered_events < total_people_events / 4
+
+
+@pytest.mark.parametrize("name", ["Q8", "Q11"])
+def test_join_queries_buffer_only_a_projected_fraction(engines_results, name, medium_xmark_document):
+    flux, naive, _projection = engines_results[name]
+    assert flux.stats.peak_buffered_events > 0
+    # "only a small fraction of the original data is buffered"
+    assert flux.stats.peak_buffered_bytes < 0.35 * len(medium_xmark_document)
+    assert flux.stats.peak_buffered_bytes < naive.peak_buffered_bytes
+
+
+@pytest.mark.parametrize("name", sorted(BENCHMARK_QUERIES))
+def test_flux_never_buffers_more_than_projection(engines_results, name):
+    flux, _naive, projection = engines_results[name]
+    assert flux.stats.peak_buffered_bytes <= projection.peak_buffered_bytes
+
+
+def test_naive_memory_reflects_whole_document(engines_results, medium_xmark_document):
+    _flux, naive, _projection = engines_results["Q1"]
+    assert naive.peak_buffered_bytes > 0.5 * len(medium_xmark_document)
+
+
+def test_flux_results_are_reusable_across_documents(small_xmark_document, medium_xmark_document):
+    engine = FluxEngine(BENCHMARK_QUERIES["Q13"], xmark_dtd())
+    small = engine.run(small_xmark_document)
+    medium = engine.run(medium_xmark_document)
+    assert small.output != medium.output
+    assert small.stats.peak_buffered_events == medium.stats.peak_buffered_events == 0
+
+
+def test_output_sizes_are_nontrivial(engines_results):
+    for name, (flux, _naive, _projection) in engines_results.items():
+        assert flux.stats.output_bytes > 0, name

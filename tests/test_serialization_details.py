@@ -1,0 +1,86 @@
+"""Smaller serialization / AST-utility details across the packages."""
+
+import pytest
+
+from repro.dtd.ast import (
+    Choice,
+    Plus,
+    Sequence,
+    Star,
+    Symbol,
+    enumerate_words,
+    iter_particles,
+    matches_word,
+    particle_size,
+)
+from repro.dtd.parser import parse_content_model
+from repro.xmlstream.events import Characters, StartDocument, StartElement
+from repro.xmlstream.serializer import escape_attribute, escape_text, serialize_event, serialize_events
+from repro.xquery.parser import parse_condition
+from repro.xquery.serialize import condition_to_source
+
+
+def test_escape_text_covers_markup_characters():
+    assert escape_text("a < b & c > d") == "a &lt; b &amp; c &gt; d"
+    assert escape_attribute('say "hi" & <bye>') == "say &quot;hi&quot; &amp; &lt;bye&gt;"
+
+
+def test_serialize_event_with_attributes():
+    event = StartElement("person", (("id", "p<0"),))
+    assert serialize_event(event) == '<person id="p&lt;0">'
+    assert serialize_event(StartDocument()) == ""
+    assert serialize_event(Characters("x & y")) == "x &amp; y"
+
+
+def test_serialize_events_rejects_non_events():
+    with pytest.raises(TypeError):
+        serialize_events(["not-an-event"])
+
+
+def test_particle_size_and_iteration():
+    particle = parse_content_model("(a*,b,(c|d)+)")
+    assert particle_size(particle) == sum(1 for _ in iter_particles(particle))
+    assert particle_size(Symbol("a")) == 1
+    assert particle_size(Star(Symbol("a"))) == 2
+
+
+def test_particle_to_source_round_trips():
+    sources = ["(a*,b,c*,(d|e*),a*)", "(title,(author+|editor+),publisher)", "(a|b|c)", "(a?,b+)"]
+    for source in sources:
+        particle = parse_content_model(source)
+        reparsed = parse_content_model(particle.to_source())
+        assert reparsed == particle
+
+
+def test_derivative_matcher_edge_cases():
+    particle = Sequence([Symbol("a"), Choice([Symbol("b"), Plus(Symbol("c"))])])
+    assert matches_word(particle, ("a", "b"))
+    assert matches_word(particle, ("a", "c", "c"))
+    assert not matches_word(particle, ("a",))
+    assert not matches_word(particle, ("b",))
+    assert not matches_word(particle, ("a", "b", "c"))
+
+
+def test_enumerate_words_lists_short_members():
+    particle = parse_content_model("(a,b?)")
+    words = set(enumerate_words(particle, max_length=2))
+    assert words == {("a",), ("a", "b")}
+
+
+def test_condition_pretty_printing_round_trips():
+    sources = [
+        '$b/publisher = "Addison-Wesley" and $b/year > 1991',
+        "exists $x/a/b or empty($y/c)",
+        "not($x/a = 1)",
+        "$p/profile/profile_income > (5000 * $o/initial)",
+        "$t/buyer/buyer_person = $p/person_id",
+    ]
+    for source in sources:
+        condition = parse_condition(source)
+        assert parse_condition(condition_to_source(condition)) == condition
+
+
+def test_condition_source_is_human_readable():
+    condition = parse_condition("$b/year >= 1991 and $b/year <= 2004")
+    rendered = condition_to_source(condition)
+    assert ">=" in rendered and "<=" in rendered and " and " in rendered

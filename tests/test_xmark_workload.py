@@ -1,0 +1,112 @@
+"""Unit tests for the XMark-like generator, DTD and benchmark queries."""
+
+from repro.dtd.validator import validate_document
+from repro.xmark.dtd import xmark_dtd
+from repro.xmark.generator import (
+    XMarkConfig,
+    config_for_scale,
+    estimate_size_bytes,
+    generate_document,
+    iter_document_chunks,
+    write_document,
+)
+from repro.xmark.queries import BENCHMARK_QUERIES, JOIN_QUERIES, ZERO_BUFFER_QUERIES, query_source
+from repro.xmark.usecases import generate_bibliography, generate_q1_bibliography
+from repro.xmlstream.parser import iter_events, parse_tree
+from repro.dtd.parser import parse_dtd
+
+
+def test_generator_is_deterministic():
+    config = XMarkConfig(people=10, items_per_region=2, open_auctions=5, closed_auctions=5)
+    assert generate_document(config) == generate_document(config)
+
+
+def test_different_seeds_produce_different_documents():
+    base = XMarkConfig(people=10, items_per_region=2, open_auctions=5, closed_auctions=5, seed=1)
+    other = XMarkConfig(people=10, items_per_region=2, open_auctions=5, closed_auctions=5, seed=2)
+    assert generate_document(base) != generate_document(other)
+
+
+def test_generated_document_is_valid(small_xmark_document, xmark_schema):
+    report = validate_document(xmark_schema, iter_events(small_xmark_document), expected_root="site")
+    assert report.is_valid, report.errors[:5]
+
+
+def test_chunked_and_whole_generation_agree():
+    config = XMarkConfig(people=8, items_per_region=2, open_auctions=4, closed_auctions=4)
+    assert "".join(iter_document_chunks(config)) == generate_document(config)
+
+
+def test_scaling_increases_size_roughly_linearly():
+    small = estimate_size_bytes(config_for_scale(0.02, seed=3))
+    large = estimate_size_bytes(config_for_scale(0.08, seed=3))
+    assert 2.0 < large / small < 8.0
+
+
+def test_config_scaled_never_drops_to_zero():
+    config = XMarkConfig(people=1, items_per_region=1, open_auctions=1, closed_auctions=1)
+    scaled = config.scaled(0.001)
+    assert scaled.people >= 1 and scaled.open_auctions >= 1
+
+
+def test_write_document_round_trips(tmp_path):
+    config = XMarkConfig(people=5, items_per_region=1, open_auctions=2, closed_auctions=2)
+    path = tmp_path / "xmark.xml"
+    written = write_document(path, config)
+    assert written == path.stat().st_size
+    assert path.read_text(encoding="utf-8") == generate_document(config)
+
+
+def test_document_contains_join_partners(small_xmark_document):
+    root = parse_tree(small_xmark_document)
+    person_ids = {node.text_content() for node in root.select_path(("people", "person", "person_id"))}
+    buyers = {
+        node.text_content()
+        for node in root.select_path(("closed_auctions", "closed_auction", "buyer", "buyer_person"))
+    }
+    assert buyers, "closed auctions must reference buyers"
+    assert buyers <= person_ids, "buyers must reference existing people"
+
+
+def test_person0_exists_for_query1(small_xmark_document):
+    root = parse_tree(small_xmark_document)
+    ids = [node.text_content() for node in root.select_path(("people", "person", "person_id"))]
+    assert "person0" in ids
+
+
+def test_some_persons_lack_income_for_query20(small_xmark_document):
+    root = parse_tree(small_xmark_document)
+    persons = root.select_path(("people", "person"))
+    with_income = [p for p in persons if p.children_named("person_income")]
+    without_income = [p for p in persons if not p.children_named("person_income")]
+    assert with_income and without_income
+
+
+def test_query_source_lookup():
+    assert query_source("Q1") is BENCHMARK_QUERIES["Q1"]
+    assert set(ZERO_BUFFER_QUERIES) <= set(BENCHMARK_QUERIES)
+    assert set(JOIN_QUERIES) <= set(BENCHMARK_QUERIES)
+    try:
+        query_source("Q99")
+        raised = False
+    except KeyError:
+        raised = True
+    assert raised
+
+
+def test_bibliography_generators_are_valid_against_their_dtds():
+    from repro.xmark.usecases import (
+        BIB_ARTICLES_DTD_ORDERED,
+        BIB_DTD_USECASES,
+        BIB_Q1_DTD_ORDERED,
+    )
+
+    cases = [
+        (generate_bibliography(15, seed=1), BIB_DTD_USECASES),
+        (generate_bibliography(10, articles=5, seed=2), BIB_ARTICLES_DTD_ORDERED),
+        (generate_q1_bibliography(10, seed=3, ordered=True), BIB_Q1_DTD_ORDERED),
+    ]
+    for document, dtd_source in cases:
+        dtd = parse_dtd(dtd_source).with_root("bib")
+        report = validate_document(dtd, iter_events(document), expected_root="bib")
+        assert report.is_valid, report.errors[:3]

@@ -1,0 +1,49 @@
+"""Unit tests for attribute-to-subelement expansion (the paper's XSAX pass)."""
+
+from repro.xmlstream.attributes import expand_attributes, expanded_attribute_name
+from repro.xmlstream.parser import parse_events
+from repro.xmlstream.serializer import serialize_events
+
+
+def _expand(text):
+    return serialize_events(expand_attributes(parse_events(text, document_events=False)))
+
+
+def test_expanded_attribute_name_follows_paper_convention():
+    assert expanded_attribute_name("person", "id") == "person_id"
+    assert expanded_attribute_name("open_auction", "id") == "open_auction_id"
+
+
+def test_expanded_attribute_name_keeps_already_prefixed_names():
+    assert expanded_attribute_name("person", "person_id") == "person_id"
+
+
+def test_expansion_moves_attributes_to_leading_subelements():
+    out = _expand('<person id="person0"><name>Ada</name></person>')
+    assert out == "<person><person_id>person0</person_id><name>Ada</name></person>"
+
+
+def test_expansion_preserves_attribute_free_documents():
+    text = "<bib><book><title>X</title></book></bib>"
+    assert _expand(text) == text
+
+
+def test_expansion_handles_multiple_attributes_deterministically():
+    out = _expand('<item id="i1" featured="yes"/>')
+    assert out == "<item><item_id>i1</item_id><item_featured>yes</item_featured></item>"
+
+
+def test_expansion_applies_at_every_depth():
+    out = _expand('<site><person id="p0"><watch open_auction="a1"/></person></site>')
+    assert "<person_id>p0</person_id>" in out
+    assert "<watch_open_auction>a1</watch_open_auction>" in out
+
+
+def test_parser_expand_attrs_flag():
+    events = parse_events('<person id="p0"/>', expand_attrs=True, document_events=False)
+    assert serialize_events(events) == "<person><person_id>p0</person_id></person>"
+
+
+def test_expansion_of_empty_attribute_value():
+    out = _expand('<a x=""/>')
+    assert out == "<a><a_x></a_x></a>"

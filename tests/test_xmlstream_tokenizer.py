@@ -1,0 +1,198 @@
+"""Unit and property tests for the incremental XML tokenizer."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.xmlstream.errors import XMLSyntaxError, XMLWellFormednessError
+from repro.xmlstream.events import Characters, EndElement, StartElement
+from repro.xmlstream.parser import parse_events
+from repro.xmlstream.serializer import serialize_events
+from repro.xmlstream.tokenizer import Tokenizer, decode_entities, tokenize
+
+
+def events_of(text, **kwargs):
+    return [
+        event
+        for event in tokenize(text, **kwargs)
+        if isinstance(event, (StartElement, EndElement, Characters))
+    ]
+
+
+def test_simple_document():
+    events = events_of("<a><b>hello</b></a>")
+    assert events == [
+        StartElement("a"),
+        StartElement("b"),
+        Characters("hello"),
+        EndElement("b"),
+        EndElement("a"),
+    ]
+
+
+def test_attributes_are_reported():
+    events = events_of('<person id="p0" kind="x"/>')
+    start = events[0]
+    assert isinstance(start, StartElement)
+    assert start.attribute_dict() == {"id": "p0", "kind": "x"}
+    assert events[1] == EndElement("person")
+
+
+def test_self_closing_tag_produces_start_and_end():
+    assert events_of("<a><b/></a>") == [
+        StartElement("a"),
+        StartElement("b"),
+        EndElement("b"),
+        EndElement("a"),
+    ]
+
+
+def test_whitespace_stripping_default():
+    events = events_of("<a>\n  <b>x</b>\n</a>")
+    assert Characters("\n  ") not in events
+    assert Characters("x") in events
+
+
+def test_whitespace_preserved_when_requested():
+    events = events_of("<a> <b>x</b></a>", strip_whitespace=False)
+    assert Characters(" ") in events
+
+
+def test_entities_are_decoded():
+    events = events_of("<a>x &amp; y &lt;z&gt; &#65;&#x42;</a>")
+    assert events[1] == Characters("x & y <z> AB")
+
+
+def test_unknown_entity_raises():
+    with pytest.raises(XMLSyntaxError):
+        events_of("<a>&unknown;</a>")
+
+
+def test_decode_entities_without_ampersand_is_identity():
+    assert decode_entities("plain text") == "plain text"
+
+
+def test_comments_and_pis_are_skipped():
+    events = events_of("<?xml version='1.0'?><!-- hi --><a><!-- there --><b/></a>")
+    assert events[0] == StartElement("a")
+    assert len(events) == 4
+
+
+def test_doctype_with_internal_subset_is_skipped():
+    text = "<!DOCTYPE bib [ <!ELEMENT bib (book)*> ]><bib><book/></bib>"
+    events = events_of(text)
+    assert events[0] == StartElement("bib")
+
+
+def test_cdata_is_reported_as_characters():
+    events = events_of("<a><![CDATA[1 < 2 & 3]]></a>")
+    assert events[1] == Characters("1 < 2 & 3")
+
+
+def test_mismatched_tags_raise():
+    with pytest.raises(XMLWellFormednessError):
+        events_of("<a><b></a></b>")
+
+
+def test_unclosed_element_raises():
+    with pytest.raises(XMLWellFormednessError):
+        events_of("<a><b>")
+
+
+def test_multiple_roots_raise():
+    with pytest.raises(XMLWellFormednessError):
+        events_of("<a/><b/>")
+
+
+def test_text_outside_root_raises():
+    with pytest.raises(XMLWellFormednessError):
+        events_of("hello <a/>")
+
+
+def test_empty_document_raises():
+    with pytest.raises(XMLWellFormednessError):
+        events_of("   ")
+
+
+def test_malformed_attribute_raises():
+    with pytest.raises(XMLSyntaxError):
+        events_of("<a b=c></a>")
+
+
+def test_incremental_feeding_matches_single_shot():
+    text = "<bib><book><title>T &amp; A</title><author>X</author></book></bib>"
+    single = parse_events(text)
+    tokenizer = Tokenizer()
+    chunked = []
+    for i in range(0, len(text), 7):
+        chunked.extend(tokenizer.feed(text[i : i + 7]))
+    chunked.extend(tokenizer.close())
+    assert chunked == single
+
+
+def test_feed_after_close_is_rejected():
+    tokenizer = Tokenizer()
+    list(tokenizer.feed("<a/>"))
+    list(tokenizer.close())
+    with pytest.raises(XMLWellFormednessError):
+        list(tokenizer.feed("<b/>"))
+
+
+# ---------------------------------------------------------------------------
+# Property tests: serialize/parse round trips
+
+
+_names = st.sampled_from(["a", "b", "c", "item", "person", "title"])
+_texts = st.text(
+    alphabet=st.characters(whitelist_categories=("Ll", "Lu", "Nd"), whitelist_characters=" &<>'\""),
+    min_size=1,
+    max_size=20,
+).filter(lambda s: s.strip())
+
+
+@st.composite
+def _element(draw, depth=0):
+    name = draw(_names)
+    children = []
+    if depth < 3:
+        for _ in range(draw(st.integers(min_value=0, max_value=3))):
+            if draw(st.booleans()) and depth < 2:
+                children.append(draw(_element(depth + 1)))
+            else:
+                children.append(draw(_texts))
+    return (name, children)
+
+
+def _to_xml(node):
+    name, children = node
+    inner = []
+    for child in children:
+        if isinstance(child, tuple):
+            inner.append(_to_xml(child))
+        else:
+            inner.append(
+                child.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+            )
+    return f"<{name}>{''.join(inner)}</{name}>"
+
+
+@settings(max_examples=60, deadline=None)
+@given(_element())
+def test_parse_serialize_round_trip(tree):
+    text = _to_xml(tree)
+    events = parse_events(text, strip_whitespace=False, document_events=False)
+    rendered = serialize_events(events)
+    reparsed = parse_events(rendered, strip_whitespace=False, document_events=False)
+    assert reparsed == events
+
+
+@settings(max_examples=40, deadline=None)
+@given(_element(), st.integers(min_value=1, max_value=13))
+def test_chunked_parsing_is_chunk_size_independent(tree, chunk_size):
+    text = _to_xml(tree)
+    whole = parse_events(text, strip_whitespace=False, document_events=False)
+    tokenizer = Tokenizer(strip_whitespace=False, report_document_events=False)
+    chunked = []
+    for i in range(0, len(text), chunk_size):
+        chunked.extend(tokenizer.feed(text[i : i + chunk_size]))
+    chunked.extend(tokenizer.close())
+    assert chunked == whole

@@ -1,0 +1,140 @@
+"""Unit and property tests for the Figure-1 normal form."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.xmlstream.parser import parse_tree
+from repro.xquery.analysis import iter_subexpressions
+from repro.xquery.ast import (
+    AndCondition,
+    ForExpr,
+    IfExpr,
+    PathOutputExpr,
+    SequenceExpr,
+    TextExpr,
+    VarOutputExpr,
+)
+from repro.xquery.normalize import FreshVariables, is_normal_form, normalize
+from repro.xquery.parser import parse_query
+from repro.xquery.semantics import evaluate_to_string
+from repro.xmark.usecases import XMP_Q1, XMP_Q2, XMP_Q3, generate_bibliography
+
+
+def test_path_output_becomes_for_loop():
+    expr = parse_query("{ $x/a/b }")
+    norm = normalize(expr)
+    assert is_normal_form(norm)
+    assert isinstance(norm, ForExpr)
+    assert norm.path == ("a",)
+    inner = norm.body
+    assert isinstance(inner, ForExpr) and inner.path == ("b",)
+    assert isinstance(inner.body, VarOutputExpr)
+
+
+def test_where_clause_is_pushed_into_body():
+    expr = parse_query("{ for $x in $y/a where $x/b = 1 return <hit/> }")
+    norm = normalize(expr)
+    assert is_normal_form(norm)
+    assert isinstance(norm, ForExpr)
+    assert norm.where is None
+    assert isinstance(norm.body, IfExpr)
+
+
+def test_multi_step_for_paths_are_split():
+    expr = parse_query("{ for $p in /site/people/person return {$p} }")
+    norm = normalize(expr)
+    assert is_normal_form(norm)
+    depth = 0
+    node = norm
+    while isinstance(node, ForExpr):
+        assert len(node.path) == 1
+        depth += 1
+        node = node.body
+    assert depth == 3
+
+
+def test_if_distributes_over_sequences():
+    expr = parse_query("{ if $x/a = 1 then <hit/> {$x/b} <done/> }")
+    norm = normalize(expr)
+    assert isinstance(norm, SequenceExpr)
+    assert isinstance(norm.items[0], IfExpr) and isinstance(norm.items[0].body, TextExpr)
+    assert isinstance(norm.items[1], ForExpr)
+    assert isinstance(norm.items[1].body, IfExpr)
+    assert isinstance(norm.items[2], IfExpr)
+    assert is_normal_form(norm)
+
+
+def test_nested_ifs_become_conjunction():
+    expr = parse_query("{ if $x/a = 1 then { if $x/b = 2 then <hit/> } }")
+    norm = normalize(expr)
+    assert isinstance(norm, IfExpr)
+    assert isinstance(norm.condition, AndCondition)
+    assert isinstance(norm.body, TextExpr)
+
+
+def test_if_around_for_is_pushed_inside():
+    expr = parse_query("{ if $x/a = 1 then { for $y in $x/b return {$y} } }")
+    norm = normalize(expr)
+    assert isinstance(norm, ForExpr)
+    assert isinstance(norm.body, IfExpr)
+
+
+def test_paper_example_4_2_structure():
+    """Normalisation of XMP Q1 matches the shape of the paper's Q1'."""
+    norm = normalize(parse_query(XMP_Q1))
+    assert is_normal_form(norm)
+    items = norm.items if isinstance(norm, SequenceExpr) else [norm]
+    # <bib> ... </bib> literals surround one for-loop over bib.
+    assert isinstance(items[0], TextExpr) and items[0].text == "<bib>"
+    assert isinstance(items[-1], TextExpr) and items[-1].text == "</bib>"
+    outer = items[1]
+    assert isinstance(outer, ForExpr) and outer.path == ("bib",)
+    book_loop = outer.body
+    assert isinstance(book_loop, ForExpr) and book_loop.path == ("book",)
+    body_items = book_loop.body.items
+    # {if χ then <book>}, year loop, title loop, {if χ then </book>}
+    assert isinstance(body_items[0], IfExpr)
+    assert isinstance(body_items[1], ForExpr) and body_items[1].path == ("year",)
+    assert isinstance(body_items[2], ForExpr) and body_items[2].path == ("title",)
+    assert isinstance(body_items[3], IfExpr)
+
+
+def test_normal_form_has_no_path_outputs_or_where():
+    for source in (XMP_Q1, XMP_Q2, XMP_Q3):
+        norm = normalize(parse_query(source))
+        assert is_normal_form(norm)
+        for sub in iter_subexpressions(norm):
+            assert not isinstance(sub, PathOutputExpr)
+            if isinstance(sub, ForExpr):
+                assert sub.where is None and len(sub.path) == 1
+            if isinstance(sub, IfExpr):
+                assert isinstance(sub.body, (TextExpr, VarOutputExpr))
+
+
+def test_normalization_is_idempotent():
+    for source in (XMP_Q1, XMP_Q2, XMP_Q3):
+        norm = normalize(parse_query(source))
+        assert normalize(norm) == norm
+
+
+def test_fresh_variables_are_unique_and_readable():
+    fresh = FreshVariables()
+    names = {fresh.fresh("title"), fresh.fresh("title"), fresh.fresh(), fresh.fresh("a b")}
+    assert len(names) == 4
+    assert any("title" in name for name in names)
+
+
+# ---------------------------------------------------------------------------
+# Semantics preservation (Theorem 4.1: the normalisation is equivalence-preserving)
+
+
+_QUERIES = (XMP_Q1, XMP_Q2, XMP_Q3, "{ $ROOT/bib/book/title }")
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.sampled_from(_QUERIES), st.integers(min_value=1, max_value=25), st.integers(0, 5))
+def test_normalization_preserves_semantics(source, books, articles):
+    document = generate_bibliography(books, articles=articles, seed=books * 31 + articles)
+    root = parse_tree(document)
+    expr = parse_query(source)
+    norm = normalize(expr)
+    assert evaluate_to_string(expr, root) == evaluate_to_string(norm, root)

@@ -1,0 +1,119 @@
+"""Unit tests for the Section-7 algebraic simplifications."""
+
+from repro.dtd.parser import parse_dtd
+from repro.xmlstream.parser import parse_tree
+from repro.xquery.analysis import iter_subexpressions, variables_bound
+from repro.xquery.ast import ForExpr
+from repro.xquery.normalize import normalize
+from repro.xquery.optimize import fuse_for_loops, reanchor_singleton_loops, simplify
+from repro.xquery.parser import parse_query
+from repro.xquery.semantics import evaluate_to_string
+from repro.xmark.dtd import xmark_dtd
+from repro.xmark.queries import QUERY_8
+
+BOOK_DTD = parse_dtd(
+    """
+    <!ELEMENT bib (book)*>
+    <!ELEMENT book (publisher?,title*)>
+    <!ELEMENT publisher (name,address)>
+    <!ELEMENT name (#PCDATA)>
+    <!ELEMENT address (#PCDATA)>
+    <!ELEMENT title (#PCDATA)>
+    """
+).with_root("bib")
+
+#: The Section-7 example: two loops over the singleton path book/publisher.
+SECTION7_QUERY = """
+{ for $b in $ROOT/bib/book return
+  <r> {$b/publisher/name} {$b/publisher/address} </r> }
+"""
+
+
+def _count_loops_over(expr, step):
+    return sum(
+        1
+        for sub in iter_subexpressions(expr)
+        if isinstance(sub, ForExpr) and sub.path == (step,)
+    )
+
+
+def test_fusion_merges_adjacent_singleton_loops():
+    norm = normalize(parse_query(SECTION7_QUERY))
+    assert _count_loops_over(norm, "publisher") == 2
+    fused = fuse_for_loops(norm, BOOK_DTD)
+    assert _count_loops_over(fused, "publisher") == 1
+
+
+def test_fusion_is_not_applied_to_repeatable_paths():
+    query = "{ for $b in $ROOT/bib/book return <r> {$b/title} {$b/title} </r> }"
+    norm = normalize(parse_query(query))
+    fused = fuse_for_loops(norm, BOOK_DTD)
+    # title can repeat, so the two loops must not be merged.
+    assert _count_loops_over(fused, "title") == 2
+
+
+def test_fusion_preserves_semantics():
+    document = (
+        "<bib><book><publisher><name>VLDB Press</name><address>Toronto</address></publisher>"
+        "<title>A</title></book>"
+        "<book><title>B</title></book></bib>"
+    )
+    root = parse_tree(document)
+    norm = normalize(parse_query(SECTION7_QUERY))
+    fused = fuse_for_loops(norm, BOOK_DTD)
+    assert evaluate_to_string(norm, root) == evaluate_to_string(fused, root)
+
+
+def test_reanchoring_removes_redundant_singleton_traversals():
+    norm = normalize(parse_query(QUERY_8))
+    # Before re-anchoring the normalised query re-traverses $ROOT/site for the
+    # inner closed_auctions loop, i.e. there are two loops over 'site'.
+    assert _count_loops_over(norm, "site") == 2
+    anchored = reanchor_singleton_loops(norm, xmark_dtd())
+    assert _count_loops_over(anchored, "site") == 1
+    # The inner loop over closed_auctions is now rooted at the outer site
+    # variable.
+    closed = [
+        sub
+        for sub in iter_subexpressions(anchored)
+        if isinstance(sub, ForExpr) and sub.path == ("closed_auctions",)
+    ]
+    assert len(closed) == 1
+    site_loop = next(
+        sub
+        for sub in iter_subexpressions(anchored)
+        if isinstance(sub, ForExpr) and sub.path == ("site",)
+    )
+    assert closed[0].source == site_loop.var
+
+
+def test_reanchoring_keeps_repeatable_paths_untouched():
+    dtd = parse_dtd(
+        "<!ELEMENT r (x)*> <!ELEMENT x (y*)> <!ELEMENT y (#PCDATA)>"
+    ).with_root("r")
+    query = "{ for $a in $ROOT/r/x return { for $b in $ROOT/r/x return {$b/y} } }"
+    norm = normalize(parse_query(query))
+    anchored = reanchor_singleton_loops(norm, dtd)
+    # x is repeatable below r, so the nested re-traversal must be preserved.
+    assert _count_loops_over(anchored, "x") == _count_loops_over(norm, "x")
+
+
+def test_reanchoring_preserves_semantics_on_xmark(small_xmark_document):
+    root = parse_tree(small_xmark_document)
+    norm = normalize(parse_query(QUERY_8))
+    anchored = reanchor_singleton_loops(norm, xmark_dtd())
+    assert evaluate_to_string(norm, root) == evaluate_to_string(anchored, root)
+
+
+def test_simplify_reaches_fixpoint_and_keeps_variables_unique():
+    norm = normalize(parse_query(QUERY_8))
+    simplified = simplify(norm, xmark_dtd())
+    assert simplify(simplified, xmark_dtd()) == simplified
+    bound = variables_bound(simplified)
+    assert len(bound) == len(set(bound))
+
+
+def test_simplify_is_identity_when_nothing_applies():
+    query = "{ for $b in $ROOT/bib/book return {$b/title} }"
+    norm = normalize(parse_query(query))
+    assert simplify(norm, BOOK_DTD) == norm

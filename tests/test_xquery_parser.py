@@ -1,0 +1,172 @@
+"""Unit tests for the XQuery⁻ parser."""
+
+import pytest
+
+from repro.xquery.ast import (
+    AndCondition,
+    ComparisonCondition,
+    EmptyCondition,
+    ExistsCondition,
+    ForExpr,
+    IfExpr,
+    NotCondition,
+    NumberLiteral,
+    OrCondition,
+    PathOutputExpr,
+    PathRef,
+    ROOT_VARIABLE,
+    ScaledPath,
+    SequenceExpr,
+    StringLiteral,
+    TextExpr,
+    VarOutputExpr,
+)
+from repro.xquery.errors import XQueryParseError
+from repro.xquery.parser import parse_condition, parse_query, split_mixed
+from repro.xquery.serialize import expression_to_source
+
+
+def test_split_mixed_handles_nested_braces():
+    parts = split_mixed("<a>{ for $x in $y/p return {$x} }</a>")
+    assert parts[0] == ("text", "<a>")
+    assert parts[1][0] == "expr"
+    assert "{$x}" in parts[1][1]
+    assert parts[2] == ("text", "</a>")
+
+
+def test_parse_literal_text_only():
+    expr = parse_query("<results></results>")
+    assert expr == TextExpr("<results></results>")
+
+
+def test_parse_for_loop_structure():
+    expr = parse_query("{ for $b in $ROOT/bib/book return {$b/title} }")
+    assert isinstance(expr, ForExpr)
+    assert expr.var == "$b"
+    assert expr.source == ROOT_VARIABLE
+    assert expr.path == ("bib", "book")
+    assert expr.where is None
+    assert expr.body == PathOutputExpr("$b", ("title",))
+
+
+def test_parse_absolute_path_defaults_to_root():
+    expr = parse_query("{ for $p in /site/people/person return {$p} }")
+    assert isinstance(expr, ForExpr)
+    assert expr.source == ROOT_VARIABLE
+    assert expr.path == ("site", "people", "person")
+    assert expr.body == VarOutputExpr("$p")
+
+
+def test_parse_where_clause_with_and():
+    expr = parse_query(
+        '{ for $b in $ROOT/bib/book where $b/publisher = "Addison-Wesley" and $b/year > 1991 '
+        "return {$b/title} }"
+    )
+    assert isinstance(expr.where, AndCondition)
+    first, second = expr.where.items
+    assert first == ComparisonCondition(
+        PathRef("$b", ("publisher",)), "=", StringLiteral("Addison-Wesley")
+    )
+    assert second == ComparisonCondition(PathRef("$b", ("year",)), ">", NumberLiteral(1991))
+
+
+def test_parse_sequence_of_text_and_expressions():
+    expr = parse_query("<r> {$x/a} {$x/b} </r>")
+    assert isinstance(expr, SequenceExpr)
+    kinds = [type(item) for item in expr.items]
+    assert kinds == [TextExpr, PathOutputExpr, PathOutputExpr, TextExpr]
+
+
+def test_whitespace_only_literals_are_dropped():
+    expr = parse_query("  { $x }   ")
+    assert expr == VarOutputExpr("$x")
+
+
+def test_parse_if_expression():
+    expr = parse_query("{ if $x/a = 5 then <hit/> }")
+    assert isinstance(expr, IfExpr)
+    assert isinstance(expr.body, TextExpr)
+
+
+def test_parse_nested_for_in_return_body():
+    expr = parse_query(
+        "{ for $b in $ROOT/bib/book return { for $t in $b/title return {$t} } }"
+    )
+    assert isinstance(expr, ForExpr)
+    assert isinstance(expr.body, ForExpr)
+    assert expr.body.body == VarOutputExpr("$t")
+
+
+def test_literal_containing_return_like_words_inside_tags():
+    expr = parse_query("{ for $x in $y/a return <return-code>ok</return-code> }")
+    assert isinstance(expr, ForExpr)
+    assert expr.body == TextExpr("<return-code>ok</return-code>")
+
+
+def test_parse_exists_and_empty_conditions():
+    assert parse_condition("exists $x/a/b") == ExistsCondition(PathRef("$x", ("a", "b")))
+    assert parse_condition("empty($p/person_income)") == EmptyCondition(
+        PathRef("$p", ("person_income",))
+    )
+
+
+def test_parse_not_and_or_conditions():
+    condition = parse_condition("not($x/a = 1) or $x/b = 2")
+    assert isinstance(condition, OrCondition)
+    assert isinstance(condition.items[0], NotCondition)
+
+
+def test_parse_scaled_path_condition():
+    condition = parse_condition("$p/profile/profile_income > (5000 * $o/initial)")
+    assert isinstance(condition, ComparisonCondition)
+    assert condition.op == ">"
+    assert condition.right == ScaledPath(5000.0, PathRef("$o", ("initial",)))
+
+
+def test_parse_path_to_path_comparison():
+    condition = parse_condition("$t/buyer/buyer_person = $p/person_id")
+    assert condition == ComparisonCondition(
+        PathRef("$t", ("buyer", "buyer_person")), "=", PathRef("$p", ("person_id",))
+    )
+
+
+def test_reject_wildcard_and_descendant_paths():
+    with pytest.raises(XQueryParseError):
+        parse_query("{ for $x in $y/a/* return {$x} }")
+    with pytest.raises(XQueryParseError):
+        parse_query("{ $x//b }")
+
+
+def test_reject_unbalanced_braces():
+    with pytest.raises(XQueryParseError):
+        parse_query("{ for $x in $y/a return {$x} ")
+
+
+def test_reject_for_without_return():
+    with pytest.raises(XQueryParseError):
+        parse_query("{ for $x in $y/a }")
+
+
+def test_reject_unknown_expression_kind():
+    with pytest.raises(XQueryParseError):
+        parse_query("{ let $x := 3 }")
+
+
+def test_parser_round_trip_through_pretty_printer():
+    source = (
+        "<results>"
+        "{ for $b in $ROOT/bib/book where $b/year > 1991 return "
+        "<result> {$b/title} { if exists $b/author then <has-authors/> } </result> }"
+        "</results>"
+    )
+    expr = parse_query(source)
+    reparsed = parse_query(expression_to_source(expr))
+    assert reparsed == expr
+
+
+def test_benchmark_queries_parse(xmark_schema):
+    from repro.xmark.queries import BENCHMARK_QUERIES
+
+    for name, source in BENCHMARK_QUERIES.items():
+        expr = parse_query(source)
+        assert expr is not None, name

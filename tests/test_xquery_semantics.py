@@ -1,0 +1,124 @@
+"""Unit tests for the in-memory reference semantics."""
+
+import pytest
+
+from repro.xmlstream.parser import parse_tree
+from repro.xquery.errors import XQueryEvaluationError
+from repro.xquery.parser import parse_condition, parse_query
+from repro.xquery.semantics import (
+    compare_existential,
+    document_environment,
+    evaluate_condition,
+    evaluate_query,
+    evaluate_to_string,
+)
+
+DOC = """
+<bib>
+  <book><title>TCP</title><author>Stevens</author><year>1994</year>
+        <publisher>Addison-Wesley</publisher><price>65</price></book>
+  <book><title>Data on the Web</title><author>Abiteboul</author><author>Buneman</author>
+        <year>2000</year><publisher>Morgan Kaufmann</publisher><price>39</price></book>
+</bib>
+"""
+
+
+@pytest.fixture(scope="module")
+def bib_root():
+    return parse_tree(DOC)
+
+
+def test_fixed_string_output(bib_root):
+    assert evaluate_to_string(parse_query("<results/>"), bib_root) == "<results/>"
+
+
+def test_path_output_serialises_subtrees(bib_root):
+    out = evaluate_to_string(parse_query("{ $ROOT/bib/book/title }"), bib_root)
+    assert out == "<title>TCP</title><title>Data on the Web</title>"
+
+
+def test_for_loop_with_condition(bib_root):
+    query = """
+    { for $b in $ROOT/bib/book where $b/year > 1995 return {$b/title} }
+    """
+    assert evaluate_to_string(parse_query(query), bib_root) == "<title>Data on the Web</title>"
+
+
+def test_string_equality_condition(bib_root):
+    query = '{ for $b in $ROOT/bib/book where $b/publisher = "Addison-Wesley" return {$b/title} }'
+    assert evaluate_to_string(parse_query(query), bib_root) == "<title>TCP</title>"
+
+
+def test_nested_loops_produce_pairs(bib_root):
+    query = """
+    { for $b in $ROOT/bib/book return
+        { for $a in $b/author return <p> {$b/title} {$a} </p> } }
+    """
+    out = evaluate_to_string(parse_query(query), bib_root)
+    assert out.count("<p>") == 3
+    assert "<author>Buneman</author>" in out
+
+
+def test_exists_and_empty_conditions(bib_root):
+    assert (
+        evaluate_to_string(
+            parse_query("{ for $b in $ROOT/bib/book where exists $b/author return <y/> }"),
+            bib_root,
+        )
+        == "<y/><y/>"
+    )
+    assert (
+        evaluate_to_string(
+            parse_query("{ for $b in $ROOT/bib/book where empty($b/editor) return <y/> }"),
+            bib_root,
+        )
+        == "<y/><y/>"
+    )
+
+
+def test_numeric_vs_string_comparison(bib_root):
+    env = document_environment(bib_root)
+    assert evaluate_condition(parse_condition("$ROOT/bib/book/price > 50"), env)
+    assert not evaluate_condition(parse_condition("$ROOT/bib/book/price > 100"), env)
+    assert evaluate_condition(parse_condition('$ROOT/bib/book/title = "TCP"'), env)
+
+
+def test_existential_comparison_semantics():
+    assert compare_existential(["1", "2"], "=", ["2", "5"])
+    assert not compare_existential(["1", "2"], "=", ["3"])
+    assert compare_existential(["abc"], "<", ["abd"])
+    assert compare_existential([], "=", []) is False
+
+
+def test_scaled_path_condition(bib_root):
+    env = document_environment(bib_root)
+    # 65 > 1.5 * 39 = 58.5 holds for the (TCP, Data on the Web) pair.
+    assert evaluate_condition(parse_condition("$ROOT/bib/book/price > (1.5 * $ROOT/bib/book/price)"), env)
+    assert not evaluate_condition(parse_condition("$ROOT/bib/book/price > (2 * $ROOT/bib/book/price)"), env)
+
+
+def test_unbound_variable_raises(bib_root):
+    with pytest.raises(XQueryEvaluationError):
+        evaluate_to_string(parse_query("{ $missing }"), bib_root)
+
+
+def test_evaluate_query_with_explicit_root_binding(bib_root):
+    # evaluate_query binds $ROOT directly to the given node, so paths start
+    # below it (here: book directly under the bound node).
+    out = evaluate_query(parse_query("{ $ROOT/book/title }"), bib_root)
+    assert out.startswith("<title>TCP</title>")
+
+
+def test_not_condition(bib_root):
+    query = '{ for $b in $ROOT/bib/book where not($b/publisher = "Addison-Wesley") return {$b/title} }'
+    assert evaluate_to_string(parse_query(query), bib_root) == "<title>Data on the Web</title>"
+
+
+def test_or_condition(bib_root):
+    query = '{ for $b in $ROOT/bib/book where $b/year = 1994 or $b/year = 2000 return <hit/> }'
+    assert evaluate_to_string(parse_query(query), bib_root) == "<hit/><hit/>"
+
+
+def test_output_order_follows_document_order(bib_root):
+    out = evaluate_to_string(parse_query("{ $ROOT/bib/book/author }"), bib_root)
+    assert out.index("Stevens") < out.index("Abiteboul") < out.index("Buneman")
