@@ -10,12 +10,25 @@ queries explode -- is what the harness reproduces.
 
 from __future__ import annotations
 
+import os
 from typing import Dict, List
 
 from repro.xmark.generator import config_for_scale, generate_document
 
+
+def _scales_from_env() -> tuple:
+    """Document scales, overridable for smoke runs (e.g. CI).
+
+    ``REPRO_BENCH_SCALES="0.02,0.05"`` shrinks every sweep to those scales.
+    """
+    raw = os.environ.get("REPRO_BENCH_SCALES")
+    if not raw:
+        return (0.05, 0.1, 0.2, 0.4)
+    return tuple(float(part) for part in raw.split(",") if part.strip())
+
+
 #: Document scales used throughout the harness (fraction of ~1 MB each).
-FIGURE4_SCALES = (0.05, 0.1, 0.2, 0.4)
+FIGURE4_SCALES = _scales_from_env()
 
 _documents: Dict[float, str] = {}
 

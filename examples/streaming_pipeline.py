@@ -1,10 +1,19 @@
-"""Run a query over a document that never exists in memory.
+"""Run a query over a document that never exists in memory -- in *and* out.
 
 The FluX engine consumes SAX-style events, so the input can be an arbitrarily
 large file -- or, as here, a generator that produces the document chunk by
-chunk while the query is being evaluated.  The example streams an XMark-like
-document of a configurable size straight from the generator into the engine
-and reports how little memory the evaluation needed.
+chunk while the query is being evaluated.  Since the push-based pipeline
+refactor the *output* side is symmetric: ``run_streaming`` yields serialized
+result fragments as the input is consumed, so neither the document nor the
+result is ever materialized as one Python string.
+
+The example streams an XMark-like document of a configurable size straight
+from the generator through the pipeline
+
+    tokenize -> coalesce -> project -> execute -> sink
+
+and reports how little memory the evaluation needed, plus how many output
+fragments the streaming sink produced along the way.
 
 Run with::
 
@@ -29,20 +38,34 @@ def main() -> None:
     print(engine.flux_source())
     print()
 
-    # The chunk iterator is consumed lazily by the engine's parser: at no
-    # point does the whole document exist as a Python string.
+    # The chunk iterator is consumed lazily by the pipeline's tokenize stage;
+    # at no point does the whole document exist as a Python string.  The
+    # streaming run is equally lazy on the output side: each iteration step
+    # hands back the fragments produced by one span of input.
     chunks = iter_document_chunks(config)
-    result = engine.run(chunks, collect_output=False)
+    run = engine.run_streaming(chunks)
 
-    stats = result.stats
+    fragments = 0
+    output_chars = 0
+    largest = 0
+    for fragment in run:
+        fragments += 1
+        output_chars += len(fragment)
+        largest = max(largest, len(fragment))
+
+    stats = run.stats
     print(f"document size streamed : {stats.input_bytes:>12} bytes")
     print(f"output produced        : {stats.output_bytes:>12} bytes")
+    print(f"  ... as {fragments} fragments, largest {largest} chars (never joined)")
     print(f"peak buffered events   : {stats.peak_buffered_events:>12}")
     print(f"peak buffered bytes    : {stats.peak_buffered_bytes:>12}")
     print(f"elapsed                : {stats.elapsed_seconds:>12.3f} s")
     print()
     print("Q13 is scheduled without any buffers: the whole run is a single")
-    print("pass over the stream, regardless of how large the document is.")
+    print("pass over the stream, regardless of how large the document is --")
+    print("and the projection filter drops every subtree the query cannot")
+    print("touch before the executor ever sees it.")
+    assert output_chars == stats.output_bytes
 
 
 if __name__ == "__main__":

@@ -11,6 +11,9 @@ buffering.  This package reimplements the complete system:
 * :mod:`repro.xquery` -- the XQuery⁻ fragment, normalisation, reference
   semantics,
 * :mod:`repro.flux` -- the FluX language, the scheduling rewrite, safety,
+* :mod:`repro.pipeline` -- the push-based event pipeline (tokenize ->
+  coalesce -> project -> execute -> sink) with the pre-executor projection
+  filter and the output sinks,
 * :mod:`repro.engine` -- the streaming engine with projected buffers,
 * :mod:`repro.baselines` -- full-materialisation and projection baselines,
 * :mod:`repro.xmark` -- XMark-like workload generator and benchmark queries,
@@ -34,13 +37,15 @@ from repro.core import (
     NaiveDomEngine,
     ProjectionDomEngine,
     RunStatistics,
+    StreamingRun,
     compare_engines,
     compile_to_flux,
     load_dtd,
     run_query,
+    run_query_streaming,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "CompiledQuery",
@@ -49,9 +54,11 @@ __all__ = [
     "NaiveDomEngine",
     "ProjectionDomEngine",
     "RunStatistics",
+    "StreamingRun",
     "__version__",
     "compare_engines",
     "compile_to_flux",
     "load_dtd",
     "run_query",
+    "run_query_streaming",
 ]

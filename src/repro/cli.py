@@ -84,15 +84,17 @@ def _cmd_compile(args) -> int:
 
 def _cmd_run(args) -> int:
     schema = _load_schema(args)
-    engine = FluxEngine(_resolve_query(args.query), schema)
-    collect = not args.discard_output
-    result = engine.run(args.document, collect_output=collect)
-    if collect:
-        if args.output:
-            with open(args.output, "w", encoding="utf-8") as handle:
-                handle.write(result.output or "")
-        else:
-            print(result.output)
+    engine = FluxEngine(_resolve_query(args.query), schema, projection=not args.no_projection)
+    if args.discard_output:
+        result = engine.run(args.document, collect_output=False)
+    elif args.output:
+        # Stream fragments straight to the file: the result never exists as
+        # one in-memory string, however large it is.
+        with open(args.output, "w", encoding="utf-8") as handle:
+            result = engine.run_to_sink(args.document, handle)
+    else:
+        result = engine.run(args.document)
+        print(result.output)
     print(result.stats.summary(), file=sys.stderr)
     return 0
 
@@ -141,7 +143,7 @@ def _cmd_xmark(args) -> int:
     schema = load_dtd(XMARK_DTD_SOURCE, root_element="site")
     document = generate_document(config_for_scale(args.scale, seed=args.seed))
     query = BENCHMARK_QUERIES[args.query]
-    engine = FluxEngine(query, schema)
+    engine = FluxEngine(query, schema, projection=not args.no_projection)
     result = engine.run(document, collect_output=not args.discard_output)
     if not args.discard_output and args.show_output:
         print(result.output)
@@ -175,8 +177,15 @@ def build_parser() -> argparse.ArgumentParser:
     _add_query_argument(run_parser)
     _add_schema_arguments(run_parser)
     run_parser.add_argument("--document", required=True, help="path to the XML document")
-    run_parser.add_argument("--output", help="write the result to this file instead of stdout")
+    run_parser.add_argument(
+        "--output", help="stream the result to this file instead of stdout (never materialised)"
+    )
     run_parser.add_argument("--discard-output", action="store_true", help="do not materialise the result")
+    run_parser.add_argument(
+        "--no-projection",
+        action="store_true",
+        help="disable the pre-executor projection filter (for comparisons)",
+    )
     run_parser.set_defaults(handler=_cmd_run)
 
     compare_parser = subparsers.add_parser("compare", help="run FluX and both baselines over a document")
@@ -203,6 +212,11 @@ def build_parser() -> argparse.ArgumentParser:
     xmark_parser.add_argument("--seed", type=int, default=42)
     xmark_parser.add_argument("--show-output", action="store_true")
     xmark_parser.add_argument("--discard-output", action="store_true")
+    xmark_parser.add_argument(
+        "--no-projection",
+        action="store_true",
+        help="disable the pre-executor projection filter (for comparisons)",
+    )
     xmark_parser.set_defaults(handler=_cmd_xmark)
 
     return parser

@@ -5,8 +5,11 @@ Most applications only need three things:
 * :func:`compile_to_flux` -- turn an XQuery⁻ query plus a DTD into a safe,
   buffer-minimising FluX query (the paper's Sections 4.1/4.2),
 * :class:`FluxEngine` -- compile once and execute over streaming documents,
-  collecting output and buffer statistics (Section 5),
-* :func:`run_query` -- one-shot convenience wrapper around the two.
+  collecting output and buffer statistics (Section 5); its
+  ``run_streaming`` / ``run_to_sink`` methods expose the incremental output
+  API of the push-based pipeline,
+* :func:`run_query` / :func:`run_query_streaming` -- one-shot convenience
+  wrappers around the two.
 
 The baseline engines (:class:`NaiveDomEngine`, :class:`ProjectionDomEngine`)
 are re-exported for side-by-side comparisons, as used by the benchmark
@@ -19,9 +22,10 @@ from repro.core.api import (
     compile_to_flux,
     load_dtd,
     run_query,
+    run_query_streaming,
 )
 from repro.baselines import NaiveDomEngine, ProjectionDomEngine
-from repro.engine.engine import FluxEngine, FluxRunResult
+from repro.engine.engine import FluxEngine, FluxRunResult, StreamingRun
 from repro.engine.stats import RunStatistics
 
 __all__ = [
@@ -31,8 +35,10 @@ __all__ = [
     "NaiveDomEngine",
     "ProjectionDomEngine",
     "RunStatistics",
+    "StreamingRun",
     "compare_engines",
     "compile_to_flux",
     "load_dtd",
     "run_query",
+    "run_query_streaming",
 ]

@@ -8,7 +8,7 @@ from typing import Dict, Optional, Union
 from repro.baselines import NaiveDomEngine, ProjectionDomEngine
 from repro.dtd.parser import parse_dtd
 from repro.dtd.schema import DTD, ROOT_ELEMENT
-from repro.engine.engine import FluxEngine, FluxRunResult
+from repro.engine.engine import FluxEngine, FluxRunResult, StreamingRun
 from repro.flux.ast import FluxExpr
 from repro.flux.rewrite import rewrite_to_flux
 from repro.flux.safety import check_safety
@@ -74,11 +74,33 @@ def run_query(
     root_element: Optional[str] = None,
     collect_output: bool = True,
     expand_attrs: bool = False,
+    projection: bool = True,
 ) -> FluxRunResult:
     """One-shot: schedule, compile and execute a query over a document."""
     schema = load_dtd(dtd, root_element=root_element)
-    engine = FluxEngine(query, schema)
+    engine = FluxEngine(query, schema, projection=projection)
     return engine.run(document, collect_output=collect_output, expand_attrs=expand_attrs)
+
+
+def run_query_streaming(
+    query: Union[str, XQExpr],
+    document: DocumentSource,
+    dtd: Union[str, DTD],
+    *,
+    root_element: Optional[str] = None,
+    expand_attrs: bool = False,
+    projection: bool = True,
+) -> "StreamingRun":
+    """One-shot streaming run: iterate serialized output fragments.
+
+    The returned :class:`~repro.engine.engine.StreamingRun` parses, projects
+    and executes lazily as fragments are pulled; no full-output string is
+    ever materialized, so result size does not affect peak memory.  Its
+    ``stats`` attribute carries the run statistics once exhausted.
+    """
+    schema = load_dtd(dtd, root_element=root_element)
+    engine = FluxEngine(query, schema, projection=projection)
+    return engine.run_streaming(document, expand_attrs=expand_attrs)
 
 
 def compare_engines(

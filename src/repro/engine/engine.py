@@ -6,26 +6,38 @@
 2. normalise it (Figure 1) and apply the Section-7 simplifications,
 3. schedule it into a safe FluX query using the DTD (Figure 2),
 4. compile the FluX query into an executable plan (buffer trees, handlers,
-   punctuation tables),
-5. execute the plan over a streaming document, producing the result and the
-   memory/time statistics.
+   punctuation tables) plus the pre-executor projection filter,
+5. execute the plan over a streaming document through the push-based
+   pipeline (``tokenize -> coalesce -> project -> execute -> sink``),
+   producing the result and the memory/time statistics.
 
 The engine can equally be constructed from an already-built FluX query
 (hand-written or produced elsewhere); it then starts at step 4.
+
+Three execution modes share one compiled plan:
+
+* :meth:`FluxEngine.run` -- collect (or discard) the output, return a
+  :class:`FluxRunResult`,
+* :meth:`FluxEngine.run_streaming` -- iterate serialized output fragments
+  while the input is being consumed; nothing is ever joined into one big
+  string, so output size does not affect peak memory,
+* :meth:`FluxEngine.run_to_sink` -- push fragments into any writable object
+  (an open file, a socket, ``sys.stdout``) as they are produced.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Union
+from typing import Iterator, Optional, Union
 
 from repro.dtd.schema import DTD, ROOT_ELEMENT
 from repro.engine.executor import ExecutionResult, StreamExecutor
 from repro.engine.plan import QueryPlan, compile_plan
 from repro.flux.ast import FluxExpr
 from repro.flux.rewrite import RewriteResult, rewrite_to_flux
-from repro.xmlstream.events import Event
-from repro.xmlstream.parser import DocumentSource, iter_events
+from repro.pipeline.pipeline import EventPipeline
+from repro.pipeline.sinks import FragmentSink, WritableSink
+from repro.xmlstream.parser import DocumentSource
 from repro.xquery.ast import ROOT_VARIABLE, XQExpr
 from repro.xquery.parser import parse_query
 
@@ -51,6 +63,45 @@ class FluxRunResult:
 from repro.engine.stats import RunStatistics  # noqa: E402  (documented forward ref)
 
 
+class StreamingRun:
+    """An in-flight streaming execution: iterate it to pull output fragments.
+
+    The run advances lazily -- each pulled fragment corresponds to the
+    output produced by some bounded span of input.  After exhaustion,
+    :attr:`stats` carries the completed run's statistics (also available
+    while streaming, with partially-accumulated counters).
+    """
+
+    def __init__(self, executor: StreamExecutor, sink: FragmentSink, batches):
+        self._executor = executor
+        self._sink = sink
+        self._batches = batches
+        self._consumed = False
+        self.stats: RunStatistics = executor.stats
+
+    def __iter__(self) -> Iterator[str]:
+        if self._consumed:
+            raise RuntimeError(
+                "this StreamingRun was already consumed; call run_streaming again"
+            )
+        self._consumed = True
+        executor = self._executor
+        sink = self._sink
+        executor.begin()
+        fragment = sink.drain()
+        if fragment:
+            yield fragment
+        for batch in self._batches:
+            executor.process_batch(batch)
+            fragment = sink.drain()
+            if fragment:
+                yield fragment
+        executor.finish()
+        fragment = sink.drain()
+        if fragment:
+            yield fragment
+
+
 class FluxEngine:
     """Compile once, execute many times.
 
@@ -64,6 +115,10 @@ class FluxEngine:
         yet, ``root_element`` must name the document element.
     root_element:
         Name of the document element (defaults to the DTD's attached root).
+    projection:
+        Derive a streaming projection filter from the compiled plan and drop
+        events of provably untouched subtrees before they reach the
+        executor (on by default; pass ``False`` to measure its effect).
     """
 
     def __init__(
@@ -75,6 +130,7 @@ class FluxEngine:
         root_var: str = ROOT_VARIABLE,
         apply_simplifications: bool = True,
         require_safe: bool = True,
+        projection: bool = True,
     ):
         if ROOT_ELEMENT not in dtd:
             if root_element is None:
@@ -101,6 +157,7 @@ class FluxEngine:
             flux = self.rewrite_result.flux
         self.flux = flux
         self.plan: QueryPlan = compile_plan(flux, dtd, root_var=root_var, require_safe=require_safe)
+        self.pipeline = EventPipeline(self.plan, projection=projection)
 
     # ----------------------------------------------------------- inspection
 
@@ -114,6 +171,24 @@ class FluxEngine:
 
     # ------------------------------------------------------------ execution
 
+    def _executor(
+        self,
+        *,
+        collect_output: bool = True,
+        sink=None,
+        stats: Optional[RunStatistics] = None,
+    ) -> StreamExecutor:
+        stats = stats or RunStatistics()
+        return StreamExecutor(
+            self.plan,
+            collect_output=collect_output,
+            stats=stats,
+            sink=sink,
+            # With the projection filter active, input accounting happens in
+            # the filter (pre-drop); the executor must not double-count.
+            count_input=not self.pipeline.projection_enabled,
+        )
+
     def run(
         self,
         document: DocumentSource,
@@ -122,11 +197,54 @@ class FluxEngine:
         expand_attrs: bool = False,
     ) -> FluxRunResult:
         """Execute the query over a document (text, path, file object, chunks)."""
-        events = iter_events(document, expand_attrs=expand_attrs)
-        return self.run_events(events, collect_output=collect_output)
+        executor = self._executor(collect_output=collect_output)
+        batches = self.pipeline.event_batches(
+            document, expand_attrs=expand_attrs, stats=executor.stats
+        )
+        result: ExecutionResult = executor.run_batches(batches)
+        return FluxRunResult(output=result.output, stats=result.stats)
 
     def run_events(self, events, *, collect_output: bool = True) -> FluxRunResult:
         """Execute the query over an already-parsed event iterable."""
-        executor = StreamExecutor(self.plan, collect_output=collect_output)
-        result: ExecutionResult = executor.run(events)
+        executor = self._executor(collect_output=collect_output)
+        batches = self.pipeline.adapt_events(events, executor.stats)
+        result: ExecutionResult = executor.run_batches(batches)
         return FluxRunResult(output=result.output, stats=result.stats)
+
+    def run_streaming(
+        self,
+        document: DocumentSource,
+        *,
+        expand_attrs: bool = False,
+    ) -> StreamingRun:
+        """Execute the query, yielding serialized output fragments.
+
+        The returned :class:`StreamingRun` is a lazy iterable: input is
+        parsed, projected and executed as fragments are pulled, and no
+        full-output string is ever materialized.
+        """
+        stats = RunStatistics()
+        sink = FragmentSink(stats)
+        executor = self._executor(sink=sink, stats=stats)
+        batches = self.pipeline.event_batches(document, expand_attrs=expand_attrs, stats=stats)
+        return StreamingRun(executor, sink, batches)
+
+    def run_to_sink(
+        self,
+        document: DocumentSource,
+        writable,
+        *,
+        expand_attrs: bool = False,
+    ) -> FluxRunResult:
+        """Execute the query, writing output fragments to ``writable``.
+
+        ``writable`` is anything with a ``write(str)`` method.  Fragments
+        are written as they are produced; the run's peak memory stays
+        independent of the output size.
+        """
+        stats = RunStatistics()
+        sink = WritableSink(stats, writable)
+        executor = self._executor(sink=sink, stats=stats)
+        batches = self.pipeline.event_batches(document, expand_attrs=expand_attrs, stats=stats)
+        result = executor.run_batches(batches)
+        return FluxRunResult(output=None, stats=result.stats)

@@ -17,12 +17,26 @@ records
 Per child of an active scope, exactly one Glushkov transition and one
 PastTable lookup per watched symbol set are performed -- the cheap
 punctuation mechanism of Appendix B.
+
+Hot-path structure (the pipeline's *execute* stage):
+
+* events arrive in *batches*; statistics are recorded once per batch,
+* the run loop dispatches on the event class directly, and per-scope child
+  dispatch uses the plan's precompiled ``on_by_tag`` / ``on_first`` tables
+  -- no ``isinstance`` chains per event,
+* frames are ``__slots__`` objects whose list fields start as a shared empty
+  tuple and are copied only on first write, so untouched elements cost one
+  object allocation,
+* the run is decomposed into :meth:`StreamExecutor.begin` /
+  :meth:`StreamExecutor.process_batch` / :meth:`StreamExecutor.finish`, which
+  is what lets the engine drain the output sink between batches and expose a
+  streaming-fragment API.
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.dtd.glushkov import INITIAL_STATE
@@ -43,6 +57,8 @@ from repro.engine.xquery_exec import (
     evaluate_condition_runtime,
     execute_expression,
 )
+from repro.pipeline.sinks import CollectingSink, OutputSink
+from repro.pipeline.stages import batched
 from repro.xmlstream.events import (
     Characters,
     EndDocument,
@@ -51,57 +67,12 @@ from repro.xmlstream.events import (
     StartDocument,
     StartElement,
 )
-from repro.xmlstream.serializer import serialize_event, serialize_events
-from repro.xmlstream.tree import XMLNode
 from repro.xquery.ast import Condition
 
 Path = Tuple[str, ...]
 
-
-# ---------------------------------------------------------------------------
-# Output
-
-
-class OutputSink:
-    """Collects (or discards) the produced output while counting its size."""
-
-    def __init__(self, stats: RunStatistics, *, collect: bool = True):
-        self._stats = stats
-        self._parts: Optional[List[str]] = [] if collect else None
-
-    def write_text(self, text: str) -> None:
-        """Emit a fixed string (already-serialized markup)."""
-        if not text:
-            return
-        self._stats.record_output(0, len(text))
-        if self._parts is not None:
-            self._parts.append(text)
-
-    def write_event(self, event: Event) -> None:
-        """Emit one SAX event."""
-        rendered = serialize_event(event)
-        self._stats.record_output(1, len(rendered))
-        if self._parts is not None:
-            self._parts.append(rendered)
-
-    def write_events(self, events: Iterable[Event]) -> None:
-        """Emit a sequence of SAX events."""
-        for event in events:
-            self.write_event(event)
-
-    def write_node(self, node: XMLNode) -> None:
-        """Emit a whole subtree."""
-        events = node.to_events()
-        rendered = serialize_events(events)
-        self._stats.record_output(len(events), len(rendered))
-        if self._parts is not None:
-            self._parts.append(rendered)
-
-    def text(self) -> Optional[str]:
-        """The collected output, or ``None`` when collection is disabled."""
-        if self._parts is None:
-            return None
-        return "".join(self._parts)
+#: Shared placeholder for never-written frame list fields (copy-on-write).
+_EMPTY: tuple = ()
 
 
 @dataclass
@@ -168,21 +139,43 @@ class ScopeActivation:
         )
 
 
-@dataclass
 class _Frame:
-    """Per-open-element execution state."""
+    """Per-open-element execution state.
 
-    name: str
-    scopes: List[ScopeActivation] = field(default_factory=list)
-    copy_active: bool = False
-    copy_suffix: List = field(default_factory=list)
-    pending_on_first: List[Tuple[ScopeActivation, CompiledOnFirst]] = field(default_factory=list)
-    subtree_sinks: List[EventBuffer] = field(default_factory=list)
-    tags_only: List[EventBuffer] = field(default_factory=list)
-    buffer_positions: List[Tuple[ScopeActivation, BufferTreeNode]] = field(default_factory=list)
-    value_positions: List[Tuple[ScopeActivation, ValueTrieNode]] = field(default_factory=list)
-    value_accumulators: List[_ValueAccumulator] = field(default_factory=list)
-    value_closers: List[_ValueAccumulator] = field(default_factory=list)
+    All sequence fields start as the shared empty tuple; ``subtree_sinks``
+    and ``value_accumulators`` may additionally *alias the parent frame's
+    sequence* and must be copied before the first append (``owns_sinks``
+    tracks ownership for the one field two methods append to).
+    """
+
+    __slots__ = (
+        "name",
+        "scopes",
+        "copy_active",
+        "copy_suffix",
+        "pending_on_first",
+        "subtree_sinks",
+        "owns_sinks",
+        "tags_only",
+        "buffer_positions",
+        "value_positions",
+        "value_accumulators",
+        "value_closers",
+    )
+
+    def __init__(self, name, copy_active=False, subtree_sinks=_EMPTY, value_accumulators=_EMPTY):
+        self.name = name
+        self.scopes = _EMPTY
+        self.copy_active = copy_active
+        self.copy_suffix = _EMPTY
+        self.pending_on_first = _EMPTY
+        self.subtree_sinks = subtree_sinks
+        self.owns_sinks = False
+        self.tags_only = _EMPTY
+        self.buffer_positions = _EMPTY
+        self.value_positions = _EMPTY
+        self.value_accumulators = value_accumulators
+        self.value_closers = _EMPTY
 
 
 # ---------------------------------------------------------------------------
@@ -190,7 +183,14 @@ class _Frame:
 
 
 class StreamExecutor:
-    """Executes a compiled plan over an event stream."""
+    """Executes a compiled plan over an event stream.
+
+    ``sink`` may be any :class:`~repro.pipeline.sinks.OutputSink`; when
+    omitted, a collecting or counting-only sink is chosen according to
+    ``collect_output``.  ``count_input`` disables the executor's own input
+    accounting when an upstream stage (the projection filter) already
+    records it.
+    """
 
     def __init__(
         self,
@@ -198,40 +198,73 @@ class StreamExecutor:
         *,
         collect_output: bool = True,
         stats: Optional[RunStatistics] = None,
+        sink: Optional[OutputSink] = None,
+        count_input: bool = True,
     ):
         self.plan = plan
         self.stats = stats or RunStatistics()
-        self.sink = OutputSink(self.stats, collect=collect_output)
+        if sink is None:
+            sink = CollectingSink(self.stats) if collect_output else OutputSink(self.stats)
+        self.sink = sink
         self.buffers = BufferManager(self.stats)
+        self._count_input = count_input
+        self._started_at = 0.0
         self._stack: List[_Frame] = []
         self._active_scopes: Dict[str, List[ScopeActivation]] = {}
 
     # ------------------------------------------------------------------ API
 
     def run(self, events: Iterable[Event]) -> ExecutionResult:
-        """Consume the event stream and produce the query result."""
-        started = time.perf_counter()
-        self.sink.write_text(self.plan.pre)
+        """Consume a per-event stream and produce the query result."""
+        return self.run_batches(batched(events))
 
-        root_frame = _Frame(name="#ROOT")
+    def run_batches(self, batches: Iterable[List[Event]]) -> ExecutionResult:
+        """Consume a stream of event batches and produce the query result."""
+        self.begin()
+        process = self.process_batch
+        for batch in batches:
+            process(batch)
+        return self.finish()
+
+    def begin(self) -> None:
+        """Start a run: emit the plan prelude and open the root scope."""
+        self._started_at = time.perf_counter()
+        self.sink.write_text(self.plan.pre)
+        root_frame = _Frame("#ROOT")
         self._stack.append(root_frame)
         self._open_scope(self.plan.root_scope, "#ROOT", root_frame)
 
-        for event in events:
-            if isinstance(event, (StartDocument, EndDocument)):
+    def process_batch(self, batch: Iterable[Event]) -> None:
+        """Feed one batch of events through the compiled plan."""
+        start = self._start_element
+        end = self._end_element
+        chars = self._characters
+        count = 0
+        cost = 0
+        for event in batch:
+            cls = event.__class__
+            if cls is StartElement:
+                count += 1
+                cost += event.cost_in_bytes()
+                start(event)
+            elif cls is Characters:
+                count += 1
+                cost += len(event.text)
+                chars(event)
+            elif cls is EndElement:
+                count += 1
+                cost += len(event.name) + 3
+                end(event)
+            elif cls is StartDocument or cls is EndDocument:
                 continue
-            self.stats.record_input(1, event.cost_in_bytes())
-            if isinstance(event, StartElement):
-                self._start_element(event)
-            elif isinstance(event, EndElement):
-                self._end_element(event)
-            elif isinstance(event, Characters):
-                self._characters(event)
-            else:  # pragma: no cover - exhaustive over the event model
+            else:
                 raise TypeError(f"not an XML event: {event!r}")
+        if count and self._count_input:
+            self.stats.record_input(count, cost)
 
-        # End of stream: close the virtual root scope (fires e.g. the final
-        # "on-first past(<document element>)" handlers).
+    def finish(self) -> ExecutionResult:
+        """End of stream: close the root scope and emit the plan postlude."""
+        # Fires e.g. the final "on-first past(<document element>)" handlers.
         root_frame = self._stack.pop()
         for activation in root_frame.scopes:
             self._finish_scope(activation)
@@ -239,7 +272,7 @@ class StreamExecutor:
             raise ValueError("unbalanced input stream: elements left open")
 
         self.sink.write_text(self.plan.post)
-        self.stats.elapsed_seconds = time.perf_counter() - started
+        self.stats.elapsed_seconds = time.perf_counter() - self._started_at
         return ExecutionResult(output=self.sink.text(), stats=self.stats)
 
     # ------------------------------------------------------------ internals
@@ -264,7 +297,10 @@ class StreamExecutor:
     def _open_scope(self, spec: ScopeSpec, element_name: str, frame: _Frame) -> ScopeActivation:
         buffer = self.buffers.create_buffer(spec.var) if spec.needs_buffer else None
         activation = ScopeActivation(spec, element_name, buffer)
-        frame.scopes.append(activation)
+        if frame.scopes is _EMPTY:
+            frame.scopes = [activation]
+        else:
+            frame.scopes.append(activation)
         self._active_scopes.setdefault(spec.var, []).append(activation)
 
         if buffer is not None:
@@ -273,23 +309,33 @@ class StreamExecutor:
                 # capture its start tag now and its whole subtree via the
                 # frame's subtree sinks.
                 buffer.append(StartElement(element_name))
-                frame.subtree_sinks.append(buffer)
+                if frame.owns_sinks:
+                    frame.subtree_sinks.append(buffer)
+                else:
+                    frame.subtree_sinks = [*frame.subtree_sinks, buffer]
+                    frame.owns_sinks = True
             elif spec.buffer_tree is not None:
-                frame.buffer_positions.append((activation, spec.buffer_tree))
+                if frame.buffer_positions is _EMPTY:
+                    frame.buffer_positions = [(activation, spec.buffer_tree)]
+                else:
+                    frame.buffer_positions.append((activation, spec.buffer_tree))
         if spec.value_trie is not None:
-            frame.value_positions.append((activation, spec.value_trie))
+            if frame.value_positions is _EMPTY:
+                frame.value_positions = [(activation, spec.value_trie)]
+            else:
+                frame.value_positions.append((activation, spec.value_trie))
 
         # i = 0 scan: handlers whose past set is already satisfied fire now.
-        for handler in spec.handlers:
-            if isinstance(handler, CompiledOnFirst) and handler.fires_initially():
+        for handler in spec.on_first:
+            if handler.fires_initially():
                 activation.fired.add(handler.index)
                 self._execute_handler_body(handler.body)
         return activation
 
     def _finish_scope(self, activation: ScopeActivation) -> None:
         # i = n+1 scan: handlers that have not fired yet fire at end-of-children.
-        for handler in activation.spec.handlers:
-            if isinstance(handler, CompiledOnFirst) and handler.index not in activation.fired:
+        for handler in activation.spec.on_first:
+            if handler.index not in activation.fired:
                 activation.fired.add(handler.index)
                 self._execute_handler_body(handler.body)
         stack = self._active_scopes.get(activation.spec.var)
@@ -306,43 +352,66 @@ class StreamExecutor:
     def _start_element(self, event: StartElement) -> None:
         name = event.name
         parent = self._stack[-1]
-        frame = _Frame(name=name)
-        frame.copy_active = parent.copy_active
-        frame.subtree_sinks = list(parent.subtree_sinks)
-        frame.value_accumulators = list(parent.value_accumulators)
+        inherited_sinks = parent.subtree_sinks
 
         # Events inside fully-captured (marked) regions.
-        for sink in frame.subtree_sinks:
+        for sink in inherited_sinks:
             sink.append(event)
 
+        frame = _Frame(name, parent.copy_active, inherited_sinks, parent.value_accumulators)
+
         # Buffer-tree matching against the parent's capture positions.
-        for activation, node in parent.buffer_positions:
-            child = node.children.get(name)
-            if child is None:
-                continue
-            activation.buffer.append(StartElement(name))
-            if child.marked:
-                frame.subtree_sinks.append(activation.buffer)
-            else:
-                frame.tags_only.append(activation.buffer)
-                if child.children:
-                    frame.buffer_positions.append((activation, child))
+        if parent.buffer_positions:
+            for activation, node in parent.buffer_positions:
+                child = node.children.get(name)
+                if child is None:
+                    continue
+                activation.buffer.append(StartElement(name))
+                if child.marked:
+                    if frame.owns_sinks:
+                        frame.subtree_sinks.append(activation.buffer)
+                    else:
+                        frame.subtree_sinks = [*frame.subtree_sinks, activation.buffer]
+                        frame.owns_sinks = True
+                else:
+                    if frame.tags_only is _EMPTY:
+                        frame.tags_only = [activation.buffer]
+                    else:
+                        frame.tags_only.append(activation.buffer)
+                    if child.children:
+                        if frame.buffer_positions is _EMPTY:
+                            frame.buffer_positions = [(activation, child)]
+                        else:
+                            frame.buffer_positions.append((activation, child))
 
         # Condition-value matching.
-        for activation, node in parent.value_positions:
-            child = node.children.get(name)
-            if child is None:
-                continue
-            if child.terminal_path is not None:
-                accumulator = _ValueAccumulator(activation, child.terminal_path)
-                frame.value_accumulators.append(accumulator)
-                frame.value_closers.append(accumulator)
-            if child.children:
-                frame.value_positions.append((activation, child))
+        if parent.value_positions:
+            owns_accumulators = False
+            for activation, node in parent.value_positions:
+                child = node.children.get(name)
+                if child is None:
+                    continue
+                if child.terminal_path is not None:
+                    accumulator = _ValueAccumulator(activation, child.terminal_path)
+                    if owns_accumulators:
+                        frame.value_accumulators.append(accumulator)
+                    else:
+                        frame.value_accumulators = [*frame.value_accumulators, accumulator]
+                        owns_accumulators = True
+                    if frame.value_closers is _EMPTY:
+                        frame.value_closers = [accumulator]
+                    else:
+                        frame.value_closers.append(accumulator)
+                if child.children:
+                    if frame.value_positions is _EMPTY:
+                        frame.value_positions = [(activation, child)]
+                    else:
+                        frame.value_positions.append((activation, child))
 
         # Handler dispatch for every scope whose children we are processing.
-        for activation in parent.scopes:
-            self._dispatch_child(activation, name, frame)
+        if parent.scopes:
+            for activation in parent.scopes:
+                self._dispatch_child(activation, name, frame)
 
         if frame.copy_active:
             self.sink.write_event(event)
@@ -352,25 +421,25 @@ class StreamExecutor:
     def _dispatch_child(self, activation: ScopeActivation, name: str, frame: _Frame) -> None:
         spec = activation.spec
         previous_state = activation.dfa_state
-        new_state = None
         if spec.automaton is not None and previous_state is not None:
             new_state = spec.automaton.step(previous_state, name)
             activation.dfa_state = new_state
+            if spec.on_first and new_state is not None:
+                fired = activation.fired
+                for handler in spec.on_first:
+                    table = handler.past_table
+                    if table is None or handler.index in fired:
+                        continue
+                    if table.get(new_state, False) and not table.get(previous_state, False):
+                        fired.add(handler.index)
+                        if frame.pending_on_first is _EMPTY:
+                            frame.pending_on_first = [(activation, handler)]
+                        else:
+                            frame.pending_on_first.append((activation, handler))
 
-        for handler in spec.handlers:
-            if isinstance(handler, CompiledOnFirst):
-                if handler.index in activation.fired or handler.past_table is None:
-                    continue
-                if previous_state is None or new_state is None:
-                    continue
-                if handler.past_table.get(new_state, False) and not handler.past_table.get(
-                    previous_state, False
-                ):
-                    activation.fired.add(handler.index)
-                    frame.pending_on_first.append((activation, handler))
-            elif isinstance(handler, CompiledOn):
-                if handler.label != name:
-                    continue
+        handlers = spec.on_by_tag.get(name)
+        if handlers is not None:
+            for handler in handlers:
                 if handler.nested is not None:
                     self._open_scope(handler.nested, name, frame)
                 else:
@@ -385,27 +454,33 @@ class StreamExecutor:
             if allowed:
                 frame.copy_active = True
         if action.suffix:
-            frame.copy_suffix.extend(action.suffix)
+            if frame.copy_suffix is _EMPTY:
+                frame.copy_suffix = list(action.suffix)
+            else:
+                frame.copy_suffix.extend(action.suffix)
 
     def _characters(self, event: Characters) -> None:
         frame = self._stack[-1]
         for sink in frame.subtree_sinks:
             sink.append(event)
-        for accumulator in frame.value_accumulators:
-            accumulator.add(event.text)
+        if frame.value_accumulators:
+            text = event.text
+            for accumulator in frame.value_accumulators:
+                accumulator.add(text)
         if frame.copy_active:
             self.sink.write_event(event)
 
     def _end_element(self, event: EndElement) -> None:
         frame = self._stack.pop()
-        name = event.name
 
         # 1. Close captures: the end tag belongs to every full-subtree sink and
         #    to every tags-only capture opened for this element.
         for sink in frame.subtree_sinks:
             sink.append(event)
-        for buffer in frame.tags_only:
-            buffer.append(EndElement(name))
+        if frame.tags_only:
+            tag = EndElement(frame.name)
+            for buffer in frame.tags_only:
+                buffer.append(tag)
         for accumulator in frame.value_closers:
             accumulator.finish(self.stats)
 

@@ -132,7 +132,14 @@ CompiledHandler = Union[CompiledOnFirst, CompiledOn]
 
 @dataclass(frozen=True)
 class ScopeSpec:
-    """Everything the executor needs to run one ``process-stream`` block."""
+    """Everything the executor needs to run one ``process-stream`` block.
+
+    ``on_first`` and ``on_by_tag`` are the precompiled dispatch tables: the
+    executor performs one dict lookup per ``(child event, tag)`` instead of
+    scanning the handler list with ``isinstance`` checks per child.  They are
+    derived from ``handlers`` once at plan-compile time and preserve the
+    source order of same-label handlers.
+    """
 
     var: str
     element_type: Optional[str]
@@ -140,6 +147,21 @@ class ScopeSpec:
     automaton: Optional[GlushkovAutomaton]
     buffer_tree: Optional[BufferTreeNode]
     value_trie: Optional[ValueTrieNode]
+    on_first: Tuple["CompiledOnFirst", ...] = field(init=False, repr=False, compare=False)
+    on_by_tag: Dict[str, Tuple["CompiledOn", ...]] = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self):
+        by_tag: Dict[str, List[CompiledOn]] = {}
+        on_first: List[CompiledOnFirst] = []
+        for handler in self.handlers:
+            if isinstance(handler, CompiledOnFirst):
+                on_first.append(handler)
+            else:
+                by_tag.setdefault(handler.label, []).append(handler)
+        object.__setattr__(self, "on_first", tuple(on_first))
+        object.__setattr__(
+            self, "on_by_tag", {label: tuple(hs) for label, hs in by_tag.items()}
+        )
 
     @property
     def needs_buffer(self) -> bool:

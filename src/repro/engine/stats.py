@@ -11,6 +11,13 @@ quantities for this implementation:
   value/flag store (the "Boolean flag" store of Section 5; reported
   separately because the paper does not count it as buffering),
 * event and byte counters for the input and the output.
+
+Recording is *batch-aware*: the pipeline calls :meth:`RunStatistics.record_input`
+once per event batch (one bounded chunk of the document), not once per
+token, so statistics cost a few integer additions per chunk on the hot
+path.  Input counters always describe the document as read -- when the
+projection filter is active it records the pre-drop totals itself and the
+executor's own accounting is disabled.
 """
 
 from __future__ import annotations
@@ -70,7 +77,11 @@ class RunStatistics:
         self.output_bytes += size
 
     def record_input(self, events: int, size: int) -> None:
-        """Account for data read from the input stream."""
+        """Account for data read from the input stream.
+
+        Called once per *batch* by the pipeline stages; pass the batch's
+        event count and summed byte cost, never call this per token.
+        """
         self.input_events += events
         self.input_bytes += size
 

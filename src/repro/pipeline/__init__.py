@@ -1,0 +1,45 @@
+"""Compiled push-based event pipeline.
+
+The execution path of the engine is a pipeline of composable stages::
+
+    tokenize  ->  coalesce/normalize  ->  project  ->  execute  ->  sink
+
+* **tokenize** (:func:`repro.xmlstream.parser.iter_event_batches`) turns
+  document chunks into bounded batches of SAX events,
+* **coalesce** (:mod:`repro.pipeline.stages`) merges adjacent character
+  events so downstream stages see one event per logical text node,
+* **project** (:mod:`repro.pipeline.projection`) drops events of subtrees
+  the compiled plan provably never touches -- a tag-driven automaton derived
+  from the plan's buffer trees, value tries and handler tables,
+* **execute** (:class:`repro.engine.executor.StreamExecutor`) drives the
+  compiled plan with the surviving events via precompiled dispatch tables,
+* **sink** (:mod:`repro.pipeline.sinks`) collects, discards, streams or
+  writes the serialized output.
+
+:class:`EventPipeline` composes the document-side stages for one plan;
+:class:`repro.engine.engine.FluxEngine` glues pipeline, executor and sink
+into the public ``run`` / ``run_streaming`` / ``run_to_sink`` API.
+"""
+
+from repro.pipeline.pipeline import EventPipeline
+from repro.pipeline.projection import ProjectionSpec, StreamProjector
+from repro.pipeline.sinks import (
+    CollectingSink,
+    FragmentSink,
+    OutputSink,
+    WritableSink,
+)
+from repro.pipeline.stages import batched, coalesce_batches, coalesce_characters
+
+__all__ = [
+    "CollectingSink",
+    "EventPipeline",
+    "FragmentSink",
+    "OutputSink",
+    "ProjectionSpec",
+    "StreamProjector",
+    "WritableSink",
+    "batched",
+    "coalesce_batches",
+    "coalesce_characters",
+]

@@ -1,0 +1,87 @@
+"""Composition of the push-based event pipeline.
+
+One compiled query plan owns one :class:`EventPipeline`.  A run is::
+
+    tokenize -> coalesce/normalize -> project -> execute -> sink
+
+The first three stages live here (the executor and sinks are pluggable so
+the engine can collect, discard, stream or write the output).  All stages
+exchange *batches* of SAX events -- one bounded list per input chunk -- so
+the per-token cost is a few dict lookups, never a Python generator frame.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Optional
+
+from repro.engine.plan import QueryPlan
+from repro.pipeline.projection import ProjectionSpec, StreamProjector
+from repro.pipeline.stages import batched, coalesce_batches
+from repro.xmlstream.events import Event
+from repro.xmlstream.parser import DEFAULT_CHUNK_SIZE, DocumentSource, iter_event_batches
+
+
+class EventPipeline:
+    """The document-side stages of one compiled plan, reusable across runs."""
+
+    def __init__(
+        self,
+        plan: QueryPlan,
+        *,
+        projection: bool = True,
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+    ):
+        self.plan = plan
+        self.chunk_size = chunk_size
+        self._projection_spec: Optional[ProjectionSpec] = None
+        if projection:
+            spec = ProjectionSpec(plan)
+            # A trivial spec (root scope captures everything) would filter
+            # nothing; bypass it instead of paying a lookup per tag.
+            if not spec.trivial:
+                self._projection_spec = spec
+
+    @property
+    def projection_enabled(self) -> bool:
+        """Whether a (non-trivial) projection filter is active."""
+        return self._projection_spec is not None
+
+    def projector(self, stats=None) -> Optional[StreamProjector]:
+        """A fresh per-run projection cursor, or ``None`` when bypassed."""
+        if self._projection_spec is None:
+            return None
+        return StreamProjector(self._projection_spec, stats)
+
+    # -------------------------------------------------------------- batches
+
+    def event_batches(
+        self,
+        document: DocumentSource,
+        *,
+        expand_attrs: bool = False,
+        stats=None,
+    ) -> Iterator[List[Event]]:
+        """The fully-staged batch stream for one document.
+
+        When the projection filter is active and ``stats`` is given, input
+        accounting happens inside the filter (pre-drop); otherwise the
+        executor records input per batch itself.
+        """
+        batches = iter_event_batches(
+            document,
+            expand_attrs=expand_attrs,
+            document_events=False,
+            chunk_size=self.chunk_size,
+        )
+        return self._staged(batches, stats)
+
+    def adapt_events(self, events: Iterable[Event], stats=None) -> Iterator[List[Event]]:
+        """Stage an already-parsed per-event iterable (no re-tokenizing)."""
+        return self._staged(batched(events), stats)
+
+    def _staged(self, batches: Iterable[List[Event]], stats) -> Iterator[List[Event]]:
+        batches = coalesce_batches(batches)
+        projector = self.projector(stats)
+        if projector is not None:
+            batches = projector.filter_batches(batches)
+        return batches

@@ -1,0 +1,133 @@
+"""Output sinks: where the executor's serialized result goes.
+
+The seed engine joined every run's output into one giant string.  The sink
+hierarchy decouples *producing* output from *materializing* it:
+
+* :class:`OutputSink` -- base class; counts output events/bytes and discards
+  the text (the ``collect_output=False`` mode of the engine).
+* :class:`CollectingSink` -- accumulates fragments and joins them once at the
+  end of the run (the classic ``result.output`` behaviour).
+* :class:`WritableSink` -- pushes every fragment straight into a writable
+  object (an open file, a socket wrapper, ``sys.stdout``); nothing is
+  retained, so output far larger than main memory streams through flat.
+* :class:`FragmentSink` -- holds fragments only until the driver drains them;
+  this is what :meth:`~repro.engine.engine.FluxEngine.run_streaming` uses to
+  yield serialized fragments incrementally.
+
+All sinks implement the tiny writer protocol the XQuery⁻ evaluator and the
+stream executor use: ``write_text`` (pre-serialized markup), ``write_event``
+(one SAX event), ``write_events`` and ``write_node`` (subtrees).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from repro.engine.stats import RunStatistics
+from repro.xmlstream.events import Event
+from repro.xmlstream.serializer import serialize_event, serialize_events
+from repro.xmlstream.tree import XMLNode
+
+
+class OutputSink:
+    """Counts (and by default discards) produced output."""
+
+    __slots__ = ("stats",)
+
+    def __init__(self, stats: RunStatistics):
+        self.stats = stats
+
+    # -------------------------------------------------------------- protocol
+
+    def write_text(self, text: str) -> None:
+        """Emit a fixed string (already-serialized markup)."""
+        if not text:
+            return
+        self.stats.record_output(0, len(text))
+        self._emit(text)
+
+    def write_event(self, event: Event) -> None:
+        """Emit one SAX event."""
+        rendered = serialize_event(event)
+        self.stats.record_output(1, len(rendered))
+        self._emit(rendered)
+
+    def write_events(self, events: Iterable[Event]) -> None:
+        """Emit a sequence of SAX events."""
+        for event in events:
+            self.write_event(event)
+
+    def write_node(self, node: XMLNode) -> None:
+        """Emit a whole subtree."""
+        events = node.to_events()
+        rendered = serialize_events(events)
+        self.stats.record_output(len(events), len(rendered))
+        self._emit(rendered)
+
+    def text(self) -> Optional[str]:
+        """The collected output; ``None`` for non-collecting sinks."""
+        return None
+
+    # ------------------------------------------------------------- subclass
+
+    def _emit(self, rendered: str) -> None:
+        """Receive one serialized fragment (base class: discard)."""
+
+
+class CollectingSink(OutputSink):
+    """Accumulates all fragments; ``text()`` joins them once."""
+
+    __slots__ = ("_parts",)
+
+    def __init__(self, stats: RunStatistics):
+        super().__init__(stats)
+        self._parts: List[str] = []
+
+    def _emit(self, rendered: str) -> None:
+        self._parts.append(rendered)
+
+    def text(self) -> Optional[str]:
+        return "".join(self._parts)
+
+
+class WritableSink(OutputSink):
+    """Forwards every fragment to a writable object immediately.
+
+    The run's peak memory stays independent of the output size: fragments
+    are handed to ``writable.write`` as they are produced and never retained.
+    """
+
+    __slots__ = ("_write",)
+
+    def __init__(self, stats: RunStatistics, writable) -> None:
+        super().__init__(stats)
+        self._write = writable.write
+
+    def _emit(self, rendered: str) -> None:
+        self._write(rendered)
+
+
+class FragmentSink(OutputSink):
+    """Buffers fragments only until the driver drains them.
+
+    ``drain()`` hands back everything produced since the previous drain as a
+    single string; the streaming API calls it once per input batch, so the
+    pending output is bounded by what one chunk of input can produce.
+    """
+
+    __slots__ = ("_parts",)
+
+    def __init__(self, stats: RunStatistics):
+        super().__init__(stats)
+        self._parts: List[str] = []
+
+    def _emit(self, rendered: str) -> None:
+        self._parts.append(rendered)
+
+    def drain(self) -> str:
+        """Return (and forget) the pending output fragments."""
+        if not self._parts:
+            return ""
+        joined = "".join(self._parts)
+        self._parts.clear()
+        return joined

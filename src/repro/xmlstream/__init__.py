@@ -7,11 +7,16 @@ consume, buffer and serialize such event streams:
 * :mod:`repro.xmlstream.events` -- the event vocabulary (start/end element,
   character data, start/end document).
 * :mod:`repro.xmlstream.tokenizer` -- a hand-written, incremental XML
-  tokenizer that turns text chunks into events without ever materializing the
-  document.
+  tokenizer that turns text chunks into events without ever materializing
+  the document.  It is batch-oriented (``feed_batch`` returns one bounded
+  list of events per fed chunk) and interns attribute-free tags, which is
+  what makes the pipeline's per-token cost a few dict lookups.
 * :mod:`repro.xmlstream.parser` -- user-facing parsing helpers built on the
-  tokenizer (iterate events from strings, files or chunk iterables, with
-  optional whitespace stripping and attribute expansion).
+  tokenizer.  :func:`~repro.xmlstream.parser.iter_event_batches` is the
+  entry stage of the push-based pipeline (:mod:`repro.pipeline`);
+  :func:`~repro.xmlstream.parser.iter_events` flattens it for per-event
+  consumers.  Sources can be document text (``str``/``bytes``), paths
+  (``str``/:class:`os.PathLike`), file objects or chunk iterables.
 * :mod:`repro.xmlstream.serializer` -- events back to XML text.
 * :mod:`repro.xmlstream.tree` -- a small in-memory node tree used by the
   reference/baseline evaluators and for inspecting buffered data.
@@ -29,7 +34,12 @@ from repro.xmlstream.events import (
     is_element_event,
 )
 from repro.xmlstream.errors import XMLSyntaxError
-from repro.xmlstream.parser import parse_events, parse_tree, iter_events
+from repro.xmlstream.parser import (
+    iter_event_batches,
+    iter_events,
+    parse_events,
+    parse_tree,
+)
 from repro.xmlstream.serializer import (
     escape_text,
     serialize_event,
@@ -51,6 +61,7 @@ __all__ = [
     "events_to_tree",
     "expand_attributes",
     "is_element_event",
+    "iter_event_batches",
     "iter_events",
     "parse_events",
     "parse_tree",

@@ -1,8 +1,11 @@
 """Incremental, hand-written XML tokenizer.
 
-The tokenizer accepts text chunks (of arbitrary size) via :meth:`Tokenizer.feed`
-and yields SAX-style events.  It supports the XML subset that the paper's data
-model needs:
+The tokenizer accepts text chunks (of arbitrary size) via
+:meth:`Tokenizer.feed_batch` and returns SAX-style events in batches -- one
+list per fed chunk, which is what the pipeline stages of
+:mod:`repro.pipeline` consume.  The generator-style :meth:`Tokenizer.feed` /
+:meth:`Tokenizer.close` API is kept as a thin wrapper.  It supports the XML
+subset that the paper's data model needs:
 
 * elements with attributes,
 * character data with the five predefined entities and numeric references,
@@ -14,14 +17,22 @@ It deliberately does not implement namespaces, external entities, or DTD
 internal subsets beyond skipping them: the paper's data model is plain
 tag-name based.
 
-The tokenizer never holds more than one pending token worth of text, so it can
-be used on documents far larger than main memory -- which is the point of the
-whole exercise.
+Two hot-path properties matter for throughput:
+
+* scanning is index-based -- the pending text is only compacted once per fed
+  chunk, never sliced per token,
+* attribute-free start tags and all end tags are interned: XML vocabularies
+  are tiny compared to documents, so almost every tag resolves to a cached,
+  shared event object instead of being re-parsed.
+
+The tokenizer never holds more than one pending token worth of text beyond
+the current chunk, so it can be used on documents far larger than main
+memory -- which is the point of the whole exercise.
 """
 
 from __future__ import annotations
 
-from typing import Iterator, List, Optional
+from typing import Iterator, List
 
 from repro.xmlstream.errors import XMLSyntaxError, XMLWellFormednessError
 from repro.xmlstream.events import (
@@ -43,6 +54,10 @@ _PREDEFINED_ENTITIES = {
 
 _NAME_START_EXTRA = set("_:")
 _NAME_EXTRA = set("_:.-")
+
+#: Upper bound on the interned-tag caches; real vocabularies are far smaller,
+#: the cap only guards against adversarial documents with unbounded tag sets.
+_TAG_CACHE_LIMIT = 4096
 
 
 def _is_name_start(char: str) -> bool:
@@ -95,202 +110,278 @@ def decode_entities(text: str, offset: int = 0) -> str:
 class Tokenizer:
     """Incremental XML tokenizer.
 
-    Typical usage::
+    Typical batch usage (the pipeline's tokenize stage)::
 
         tokenizer = Tokenizer()
         for chunk in chunks:
-            for event in tokenizer.feed(chunk):
-                handle(event)
-        for event in tokenizer.close():
-            handle(event)
+            handle_batch(tokenizer.feed_batch(chunk))
+        handle_batch(tokenizer.close_batch())
 
-    The tokenizer checks well-formedness (matching tags, single root) and
-    raises :class:`XMLWellFormednessError` when violated.
+    The per-event generator API (:meth:`feed` / :meth:`close`) remains
+    available.  The tokenizer checks well-formedness (matching tags, single
+    root) and raises :class:`XMLWellFormednessError` when violated.
     """
 
     def __init__(self, *, strip_whitespace: bool = True, report_document_events: bool = True):
         self._buffer = ""
-        self._offset = 0
+        self._pos = 0
+        self._offset = 0  # absolute document offset of self._buffer[0]
         self._stack: List[str] = []
         self._started = False
         self._finished = False
         self._seen_root = False
         self._strip_whitespace = strip_whitespace
         self._report_document_events = report_document_events
+        self._start_cache: dict = {}
+        self._end_cache: dict = {}
 
     # ------------------------------------------------------------------ API
 
-    def feed(self, chunk: str) -> Iterator[Event]:
-        """Feed a chunk of text and yield all events that became complete."""
+    def feed_batch(self, chunk: str) -> List[Event]:
+        """Feed a chunk of text and return all events that became complete."""
         if self._finished:
-            raise XMLWellFormednessError("data after end of document", self._offset)
-        self._buffer += chunk
-        yield from self._drain(final=False)
+            raise XMLWellFormednessError("data after end of document", self._here())
+        if self._pos:
+            # Compact once per chunk instead of once per token.
+            self._offset += self._pos
+            self._buffer = self._buffer[self._pos :]
+            self._pos = 0
+        self._buffer = self._buffer + chunk if self._buffer else chunk
+        return self._drain(final=False)
 
-    def close(self) -> Iterator[Event]:
-        """Signal end of input and yield any remaining events."""
-        yield from self._drain(final=True)
+    def close_batch(self) -> List[Event]:
+        """Signal end of input and return any remaining events."""
+        events = self._drain(final=True)
         if self._stack:
             raise XMLWellFormednessError(
-                f"document ended with unclosed element <{self._stack[-1]}>", self._offset
+                f"document ended with unclosed element <{self._stack[-1]}>", self._here()
             )
         if not self._seen_root:
-            raise XMLWellFormednessError("document contains no element", self._offset)
+            raise XMLWellFormednessError("document contains no element", self._here())
         if not self._finished:
             self._finished = True
             if self._report_document_events:
-                yield EndDocument()
+                events.append(EndDocument())
+        return events
+
+    def feed(self, chunk: str) -> Iterator[Event]:
+        """Per-event wrapper around :meth:`feed_batch`."""
+        yield from self.feed_batch(chunk)
+
+    def close(self) -> Iterator[Event]:
+        """Per-event wrapper around :meth:`close_batch`."""
+        yield from self.close_batch()
 
     # ------------------------------------------------------------ internals
 
-    def _drain(self, final: bool) -> Iterator[Event]:
+    def _here(self) -> int:
+        return self._offset + self._pos
+
+    def _drain(self, final: bool) -> List[Event]:
+        events: List[Event] = []
+        append = events.append
         if not self._started:
             self._started = True
             if self._report_document_events:
-                yield StartDocument()
-        while True:
-            event, made_progress = self._next_event(final)
-            if event is not None:
-                yield event
-            if not made_progress:
-                break
+                append(StartDocument())
 
-    def _next_event(self, final: bool):
-        """Try to extract one event.  Returns ``(event_or_None, progressed)``."""
         buffer = self._buffer
-        if not buffer:
-            return None, False
-        if buffer[0] != "<":
-            lt = buffer.find("<")
-            if lt == -1:
-                if not final:
-                    return None, False
-                text = buffer
-                self._consume(len(buffer))
+        length = len(buffer)
+        pos = self._pos
+        find = buffer.find
+        startswith = buffer.startswith
+        stack = self._stack
+        strip = self._strip_whitespace
+        start_cache = self._start_cache
+        end_cache = self._end_cache
+
+        while pos < length:
+            if buffer[pos] != "<":
+                # ------------------------------------------- character data
+                lt = find("<", pos)
+                if lt == -1:
+                    if not final:
+                        break
+                    raw = buffer[pos:]
+                    pos = length
+                else:
+                    raw = buffer[pos:lt]
+                    pos = lt
+                if "&" in raw:
+                    raw = decode_entities(raw, self._offset + pos)
+                if stack:
+                    if not strip or not raw.isspace():
+                        append(Characters(raw))
+                elif not raw.isspace():
+                    self._pos = pos
+                    raise XMLWellFormednessError(
+                        "character data outside the root element", self._here()
+                    )
+                continue
+
+            nxt = pos + 1
+            if nxt >= length:
+                if final:
+                    self._pos = pos
+                    raise XMLSyntaxError("truncated markup", self._here())
+                break
+            second = buffer[nxt]
+
+            if second == "/":
+                # --------------------------------------------------- end tag
+                gt = find(">", pos)
+                if gt == -1:
+                    if final:
+                        self._pos = pos
+                        raise XMLSyntaxError("unterminated tag", self._here())
+                    break
+                name = buffer[pos + 2 : gt]
+                pos = gt + 1
+                if stack and stack[-1] == name:
+                    # Fast path: the name was validated when its start tag was
+                    # parsed, so matching the stack top needs no re-check.
+                    stack.pop()
+                    event = end_cache.get(name)
+                    if event is None:
+                        event = EndElement(name)
+                        if len(end_cache) < _TAG_CACHE_LIMIT:
+                            end_cache[name] = event
+                    append(event)
+                else:
+                    self._pos = pos
+                    append(self._end_tag(name.strip()))
+                continue
+
+            if second == "?":
+                # --------------------------------------- processing instruction
+                end = find("?>", pos)
+                if end == -1:
+                    if final:
+                        self._pos = pos
+                        raise XMLSyntaxError("unterminated processing instruction", self._here())
+                    break
+                pos = end + 2
+                continue
+
+            if second == "!":
+                # ------------------------------- comment / CDATA / DOCTYPE
+                if startswith("<!--", pos):
+                    end = find("-->", pos)
+                    if end == -1:
+                        if final:
+                            self._pos = pos
+                            raise XMLSyntaxError("unterminated comment", self._here())
+                        break
+                    pos = end + 3
+                    continue
+                if startswith("<![CDATA[", pos):
+                    end = find("]]>", pos)
+                    if end == -1:
+                        if final:
+                            self._pos = pos
+                            raise XMLSyntaxError("unterminated CDATA section", self._here())
+                        break
+                    text = buffer[pos + 9 : end]
+                    pos = end + 3
+                    if not stack:
+                        self._pos = pos
+                        raise XMLWellFormednessError("CDATA outside the root element", self._here())
+                    if not strip or text.strip():
+                        append(Characters(text))
+                    continue
+                if startswith("<!DOCTYPE", pos) or startswith("<!doctype", pos):
+                    # A DOCTYPE may contain an internal subset in [...]; skip
+                    # to the matching '>' while honouring brackets.
+                    depth = 0
+                    end = -1
+                    for index in range(pos, length):
+                        char = buffer[index]
+                        if char == "[":
+                            depth += 1
+                        elif char == "]":
+                            depth -= 1
+                        elif char == ">" and depth <= 0:
+                            end = index
+                            break
+                    if end == -1:
+                        if final:
+                            self._pos = pos
+                            raise XMLSyntaxError("unterminated DOCTYPE", self._here())
+                        break
+                    pos = end + 1
+                    continue
+                if length - pos < 9 and not final:
+                    break
+                self._pos = pos
+                raise XMLSyntaxError("unsupported markup declaration", self._here())
+
+            # ------------------------------------------------------ start tag
+            gt = find(">", pos)
+            if gt == -1:
+                if final:
+                    self._pos = pos
+                    raise XMLSyntaxError("unterminated tag", self._here())
+                break
+            raw_tag = buffer[pos + 1 : gt]
+            pos = gt + 1
+            event = start_cache.get(raw_tag)
+            if event is not None:
+                if not stack:
+                    if self._seen_root:
+                        self._pos = pos
+                        raise XMLWellFormednessError("multiple root elements", self._here())
+                    self._seen_root = True
+                stack.append(event.name)
+                append(event)
+                continue
+            # Slow path: self-closing tags, attributes, unseen names.
+            self._pos = pos
+            self_closing = raw_tag.endswith("/")
+            if self_closing:
+                raw_tag = raw_tag[:-1]
+            name, attributes = self._parse_tag_content(raw_tag)
+            if not stack:
+                if self._seen_root:
+                    raise XMLWellFormednessError("multiple root elements", self._here())
+                self._seen_root = True
+            event = StartElement(name, tuple(attributes))
+            append(event)
+            if self_closing:
+                end_event = end_cache.get(name)
+                if end_event is None:
+                    end_event = EndElement(name)
+                    if len(end_cache) < _TAG_CACHE_LIMIT:
+                        end_cache[name] = end_event
+                append(end_event)
             else:
-                text = buffer[:lt]
-                self._consume(lt)
-            return self._text_event(text), True
-        # A markup construct starts here.
-        if len(buffer) < 2:
-            if final:
-                raise XMLSyntaxError("truncated markup", self._offset)
-            return None, False
-        second = buffer[1]
-        if second == "?":
-            return self._consume_until("?>", "processing instruction", final)
-        if second == "!":
-            if buffer.startswith("<!--"):
-                return self._consume_until("-->", "comment", final)
-            if buffer.startswith("<![CDATA["):
-                return self._consume_cdata(final)
-            if buffer.startswith("<!DOCTYPE") or buffer.startswith("<!doctype"):
-                return self._consume_doctype(final)
-            if len(buffer) < 9 and not final:
-                return None, False
-            raise XMLSyntaxError("unsupported markup declaration", self._offset)
-        gt = buffer.find(">")
-        if gt == -1:
-            if final:
-                raise XMLSyntaxError("unterminated tag", self._offset)
-            return None, False
-        raw_tag = buffer[1:gt]
-        self._consume(gt + 1)
-        if raw_tag.startswith("/"):
-            return self._end_tag(raw_tag[1:].strip()), True
-        return self._start_tag(raw_tag), True
+                stack.append(name)
+                if not attributes and len(start_cache) < _TAG_CACHE_LIMIT:
+                    start_cache[raw_tag] = event
+            continue
 
-    def _text_event(self, raw: str) -> Optional[Characters]:
-        text = decode_entities(raw, self._offset)
-        if self._strip_whitespace and not text.strip():
-            return None
-        if not self._stack:
-            if text.strip():
-                raise XMLWellFormednessError("character data outside the root element", self._offset)
-            return None
-        return Characters(text)
-
-    def _consume(self, count: int) -> None:
-        self._buffer = self._buffer[count:]
-        self._offset += count
-
-    def _consume_until(self, terminator: str, what: str, final: bool):
-        end = self._buffer.find(terminator)
-        if end == -1:
-            if final:
-                raise XMLSyntaxError(f"unterminated {what}", self._offset)
-            return None, False
-        self._consume(end + len(terminator))
-        return None, True
-
-    def _consume_cdata(self, final: bool):
-        end = self._buffer.find("]]>")
-        if end == -1:
-            if final:
-                raise XMLSyntaxError("unterminated CDATA section", self._offset)
-            return None, False
-        text = self._buffer[len("<![CDATA[") : end]
-        self._consume(end + 3)
-        if not self._stack:
-            raise XMLWellFormednessError("CDATA outside the root element", self._offset)
-        if self._strip_whitespace and not text.strip():
-            return None, True
-        return Characters(text), True
-
-    def _consume_doctype(self, final: bool):
-        # A DOCTYPE may contain an internal subset in [...]; skip to the
-        # matching '>' while honouring brackets.
-        depth = 0
-        for index, char in enumerate(self._buffer):
-            if char == "[":
-                depth += 1
-            elif char == "]":
-                depth -= 1
-            elif char == ">" and depth <= 0:
-                self._consume(index + 1)
-                return None, True
-        if final:
-            raise XMLSyntaxError("unterminated DOCTYPE", self._offset)
-        return None, False
-
-    def _start_tag(self, raw_tag: str) -> StartElement:
-        self_closing = raw_tag.endswith("/")
-        if self_closing:
-            raw_tag = raw_tag[:-1]
-        name, attributes = self._parse_tag_content(raw_tag)
-        if not self._stack:
-            if self._seen_root:
-                raise XMLWellFormednessError("multiple root elements", self._offset)
-            self._seen_root = True
-        if self_closing:
-            # Emit the start event now; the matching end event is synthesised
-            # immediately afterwards by pushing it onto a tiny pending queue.
-            # To keep the tokenizer single-token, we instead expand the
-            # self-closing tag into two events by re-injecting the end tag.
-            self._buffer = f"</{name}>" + self._buffer
-            self._offset -= len(name) + 3
-        self._stack.append(name)
-        return StartElement(name, tuple(attributes))
+        self._pos = pos
+        return events
 
     def _end_tag(self, name: str) -> EndElement:
+        """Slow-path end tag: full name validation and mismatch reporting."""
         if not name or not all(_is_name_char(c) or _is_name_start(c) for c in name):
-            raise XMLSyntaxError(f"malformed end tag </{name}>", self._offset)
+            raise XMLSyntaxError(f"malformed end tag </{name}>", self._here())
         if not self._stack:
-            raise XMLWellFormednessError(f"unexpected closing tag </{name}>", self._offset)
+            raise XMLWellFormednessError(f"unexpected closing tag </{name}>", self._here())
         expected = self._stack.pop()
         if expected != name:
             raise XMLWellFormednessError(
-                f"mismatched closing tag </{name}>, expected </{expected}>", self._offset
+                f"mismatched closing tag </{name}>, expected </{expected}>", self._here()
             )
         return EndElement(name)
 
     def _parse_tag_content(self, raw_tag: str):
         raw_tag = raw_tag.strip()
         if not raw_tag:
-            raise XMLSyntaxError("empty tag", self._offset)
+            raise XMLSyntaxError("empty tag", self._here())
         i = 0
         if not _is_name_start(raw_tag[0]):
-            raise XMLSyntaxError(f"malformed tag <{raw_tag}>", self._offset)
+            raise XMLSyntaxError(f"malformed tag <{raw_tag}>", self._here())
         while i < len(raw_tag) and _is_name_char(raw_tag[i]):
             i += 1
         name = raw_tag[:i]
@@ -307,22 +398,22 @@ class Tokenizer:
                 j += 1
             attr_name = rest[start:j]
             if not attr_name:
-                raise XMLSyntaxError(f"malformed attribute in <{raw_tag}>", self._offset)
+                raise XMLSyntaxError(f"malformed attribute in <{raw_tag}>", self._here())
             while j < len(rest) and rest[j].isspace():
                 j += 1
             if j >= len(rest) or rest[j] != "=":
-                raise XMLSyntaxError(f"attribute {attr_name!r} without value", self._offset)
+                raise XMLSyntaxError(f"attribute {attr_name!r} without value", self._here())
             j += 1
             while j < len(rest) and rest[j].isspace():
                 j += 1
             if j >= len(rest) or rest[j] not in "\"'":
-                raise XMLSyntaxError(f"attribute {attr_name!r} value must be quoted", self._offset)
+                raise XMLSyntaxError(f"attribute {attr_name!r} value must be quoted", self._here())
             quote = rest[j]
             j += 1
             end = rest.find(quote, j)
             if end == -1:
-                raise XMLSyntaxError(f"unterminated attribute value for {attr_name!r}", self._offset)
-            value = decode_entities(rest[j:end], self._offset)
+                raise XMLSyntaxError(f"unterminated attribute value for {attr_name!r}", self._here())
+            value = decode_entities(rest[j:end], self._here())
             attributes.append((attr_name, value))
             j = end + 1
         return name, attributes
