@@ -40,6 +40,24 @@ def pytest_terminal_summary(terminalreporter, exitstatus, config):
                 f"{row['query']:>6} {row['document_bytes']:>10} {row['engine']:>16} "
                 f"{row['seconds']:>10.3f} {row['memory_bytes']:>12}"
             )
+    multiquery_rows = [row for row in COLLECTED_ROWS if row.get("table") == "multiquery"]
+    if multiquery_rows:
+        terminalreporter.write_sep("=", "Multi-query sharing (one shared pass vs N sequential runs)")
+        terminalreporter.write_line(
+            f"{'workload':>16} {'N':>3} {'doc bytes':>10} {'sequential':>11} {'shared':>8} {'speedup':>8}"
+        )
+        for row in sorted(multiquery_rows, key=lambda r: r["workload"]):
+            terminalreporter.write_line(
+                f"{row['workload']:>16} {row['queries']:>3} {row['document_bytes']:>10} "
+                f"{row['sequential_seconds']:>10.3f}s {row['shared_seconds']:>7.3f}s "
+                f"{row['speedup']:>7.2f}x"
+            )
+    scaling_rows = [row for row in COLLECTED_ROWS if row.get("table") == "multiquery-scaling"]
+    if scaling_rows:
+        terminalreporter.write_sep("=", "Multi-query sharing: speedup vs registered query count")
+        for row in scaling_rows:
+            pairs = ", ".join(f"N={n}: {speedup:.2f}x" for n, _, _, speedup in row["rows"])
+            terminalreporter.write_line(f"{row['document_bytes']:>10}B  {pairs}")
     memory_rows = [row for row in COLLECTED_ROWS if row.get("table") == "figure4-memory"]
     if memory_rows:
         terminalreporter.write_sep("=", "Figure 4 reproduction (peak memory across document sizes)")

@@ -15,6 +15,8 @@ buffering.  This package reimplements the complete system:
   coalesce -> project -> execute -> sink) with the pre-executor projection
   filter and the output sinks,
 * :mod:`repro.engine` -- the streaming engine with projected buffers,
+* :mod:`repro.multiquery` -- multi-query shared-stream execution (one
+  parse, N queries, merged projection with membership masks),
 * :mod:`repro.baselines` -- full-materialisation and projection baselines,
 * :mod:`repro.xmark` -- XMark-like workload generator and benchmark queries,
 * :mod:`repro.core` -- the public API (start here).
@@ -34,31 +36,41 @@ from repro.core import (
     CompiledQuery,
     FluxEngine,
     FluxRunResult,
+    MultiQueryEngine,
+    MultiQueryRun,
     NaiveDomEngine,
     ProjectionDomEngine,
+    QueryRegistry,
     RunStatistics,
     StreamingRun,
     compare_engines,
     compile_to_flux,
     load_dtd,
+    run_queries,
     run_query,
     run_query_streaming,
+    run_query_to_sink,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "CompiledQuery",
     "FluxEngine",
     "FluxRunResult",
+    "MultiQueryEngine",
+    "MultiQueryRun",
     "NaiveDomEngine",
     "ProjectionDomEngine",
+    "QueryRegistry",
     "RunStatistics",
     "StreamingRun",
     "__version__",
     "compare_engines",
     "compile_to_flux",
     "load_dtd",
+    "run_queries",
     "run_query",
     "run_query_streaming",
+    "run_query_to_sink",
 ]

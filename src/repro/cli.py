@@ -5,6 +5,7 @@ Python code::
 
     python -m repro compile  --query q.xq --dtd bib.dtd --root bib
     python -m repro run      --query q.xq --dtd bib.dtd --root bib --document doc.xml
+    python -m repro multirun --query Q1 --query Q13 --query Q20 --document doc.xml
     python -m repro compare  --query q.xq --dtd bib.dtd --root bib --document doc.xml
     python -m repro validate --dtd bib.dtd --root bib --document doc.xml
     python -m repro generate --scale 0.2 --output xmark.xml
@@ -12,21 +13,25 @@ Python code::
 
 ``compile`` prints the scheduled FluX query and the buffer trees; ``run``
 executes a query and reports the output (optionally to a file) together with
-the buffer statistics; ``compare`` runs the FluX engine and both baselines;
-``generate`` produces XMark-like documents; ``xmark`` runs one of the
-benchmark queries on generated data.
+the buffer statistics; ``multirun`` executes several queries over *one*
+shared document pass (repeat ``--query``, optionally one ``--output`` per
+query); ``compare`` runs the FluX engine and both baselines; ``generate``
+produces XMark-like documents; ``xmark`` runs one of the benchmark queries
+on generated data.
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
 import sys
 from typing import Optional, Sequence
 
 from repro.baselines import NaiveDomEngine, ProjectionDomEngine
-from repro.core.api import compile_to_flux, load_dtd
-from repro.dtd.validator import validate_document
+from repro.core.api import compile_to_flux, load_dtd, run_query_to_sink
 from repro.engine.engine import FluxEngine
+from repro.dtd.validator import validate_document
+from repro.multiquery import MultiQueryEngine, QueryRegistry
 from repro.xmark.dtd import XMARK_DTD_SOURCE
 from repro.xmark.generator import config_for_scale, write_document, generate_document
 from repro.xmark.queries import BENCHMARK_QUERIES
@@ -83,19 +88,74 @@ def _cmd_compile(args) -> int:
 
 
 def _cmd_run(args) -> int:
+    if args.output and args.discard_output:
+        print("error: --output and --discard-output are mutually exclusive", file=sys.stderr)
+        return 2
     schema = _load_schema(args)
-    engine = FluxEngine(_resolve_query(args.query), schema, projection=not args.no_projection)
-    if args.discard_output:
-        result = engine.run(args.document, collect_output=False)
-    elif args.output:
+    if args.output:
         # Stream fragments straight to the file: the result never exists as
         # one in-memory string, however large it is.
         with open(args.output, "w", encoding="utf-8") as handle:
-            result = engine.run_to_sink(args.document, handle)
+            result = run_query_to_sink(
+                _resolve_query(args.query),
+                args.document,
+                schema,
+                handle,
+                projection=not args.no_projection,
+            )
     else:
-        result = engine.run(args.document)
-        print(result.output)
+        engine = FluxEngine(_resolve_query(args.query), schema, projection=not args.no_projection)
+        result = engine.run(args.document, collect_output=not args.discard_output)
+        if not args.discard_output:
+            print(result.output)
     print(result.stats.summary(), file=sys.stderr)
+    return 0
+
+
+def _cmd_multirun(args) -> int:
+    if args.output and args.discard_output:
+        print("error: --output and --discard-output are mutually exclusive", file=sys.stderr)
+        return 2
+    schema = _load_schema(args)
+    if args.output and len(args.output) != len(args.query):
+        print(
+            f"error: {len(args.query)} queries but {len(args.output)} --output paths "
+            "(pass exactly one per query, or none)",
+            file=sys.stderr,
+        )
+        return 2
+
+    registry = QueryRegistry(schema, projection=not args.no_projection)
+    names = []
+    for argument in args.query:
+        name = argument
+        suffix = 2
+        while name in registry:
+            name = f"{argument}#{suffix}"
+            suffix += 1
+        registry.register(name, _resolve_query(argument))
+        names.append(name)
+    engine = MultiQueryEngine(registry)
+
+    if args.output:
+        with contextlib.ExitStack() as stack:
+            sinks = {
+                name: stack.enter_context(open(path, "w", encoding="utf-8"))
+                for name, path in zip(names, args.output)
+            }
+            run = engine.run_to_sinks(args.document, sinks)
+    else:
+        run = engine.run(args.document, collect_output=not args.discard_output)
+        if not args.discard_output:
+            for name in names:
+                print(f"--- {name} ---")
+                print(run[name].output)
+    for name in names:
+        print(f"{name}: {run[name].stats.summary()}", file=sys.stderr)
+    print(
+        f"shared pass over {len(names)} queries: {run.elapsed_seconds:.3f}s total",
+        file=sys.stderr,
+    )
     return 0
 
 
@@ -187,6 +247,32 @@ def build_parser() -> argparse.ArgumentParser:
         help="disable the pre-executor projection filter (for comparisons)",
     )
     run_parser.set_defaults(handler=_cmd_run)
+
+    multirun_parser = subparsers.add_parser(
+        "multirun", help="execute several queries over one shared document pass"
+    )
+    multirun_parser.add_argument(
+        "--query",
+        action="append",
+        required=True,
+        help="query to register (repeatable): a file path or a built-in XMark query name",
+    )
+    _add_schema_arguments(multirun_parser)
+    multirun_parser.add_argument("--document", required=True, help="path to the XML document")
+    multirun_parser.add_argument(
+        "--output",
+        action="append",
+        help="output file for the corresponding --query (repeatable, one per query)",
+    )
+    multirun_parser.add_argument(
+        "--discard-output", action="store_true", help="do not materialise any result"
+    )
+    multirun_parser.add_argument(
+        "--no-projection",
+        action="store_true",
+        help="disable every query's projection filter in the merged pass",
+    )
+    multirun_parser.set_defaults(handler=_cmd_multirun)
 
     compare_parser = subparsers.add_parser("compare", help="run FluX and both baselines over a document")
     _add_query_argument(compare_parser)

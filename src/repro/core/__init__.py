@@ -8,8 +8,11 @@ Most applications only need three things:
   collecting output and buffer statistics (Section 5); its
   ``run_streaming`` / ``run_to_sink`` methods expose the incremental output
   API of the push-based pipeline,
-* :func:`run_query` / :func:`run_query_streaming` -- one-shot convenience
-  wrappers around the two.
+* :func:`run_query` / :func:`run_query_streaming` / :func:`run_query_to_sink`
+  -- one-shot convenience wrappers around the two,
+* :func:`run_queries` -- multi-query execution: N registered queries share
+  one tokenize/coalesce/project pass over the document
+  (:mod:`repro.multiquery`), each returning its own result and statistics.
 
 The baseline engines (:class:`NaiveDomEngine`, :class:`ProjectionDomEngine`)
 are re-exported for side-by-side comparisons, as used by the benchmark
@@ -21,24 +24,32 @@ from repro.core.api import (
     compare_engines,
     compile_to_flux,
     load_dtd,
+    run_queries,
     run_query,
     run_query_streaming,
+    run_query_to_sink,
 )
 from repro.baselines import NaiveDomEngine, ProjectionDomEngine
 from repro.engine.engine import FluxEngine, FluxRunResult, StreamingRun
 from repro.engine.stats import RunStatistics
+from repro.multiquery import MultiQueryEngine, MultiQueryRun, QueryRegistry
 
 __all__ = [
     "CompiledQuery",
     "FluxEngine",
     "FluxRunResult",
+    "MultiQueryEngine",
+    "MultiQueryRun",
     "NaiveDomEngine",
     "ProjectionDomEngine",
+    "QueryRegistry",
     "RunStatistics",
     "StreamingRun",
     "compare_engines",
     "compile_to_flux",
     "load_dtd",
+    "run_queries",
     "run_query",
     "run_query_streaming",
+    "run_query_to_sink",
 ]

@@ -3,29 +3,31 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Union
+from typing import Dict, Mapping, Optional, Sequence, Union
 
 from repro.baselines import NaiveDomEngine, ProjectionDomEngine
 from repro.dtd.parser import parse_dtd
-from repro.dtd.schema import DTD, ROOT_ELEMENT
-from repro.engine.engine import FluxEngine, FluxRunResult, StreamingRun
+from repro.dtd.schema import DTD
+from repro.engine.engine import FluxEngine, FluxRunResult, StreamingRun, ensure_rooted
 from repro.flux.ast import FluxExpr
 from repro.flux.rewrite import rewrite_to_flux
 from repro.flux.safety import check_safety
 from repro.flux.serialize import flux_to_source
+from repro.multiquery import MultiQueryEngine, MultiQueryRun, QueryRegistry
 from repro.xmlstream.parser import DocumentSource
 from repro.xquery.ast import ROOT_VARIABLE, XQExpr
 from repro.xquery.parser import parse_query
 
 
 def load_dtd(source: Union[str, DTD], *, root_element: Optional[str] = None) -> DTD:
-    """Parse (if necessary) a DTD and attach the virtual document root."""
+    """Parse (if necessary) a DTD and attach the virtual document root.
+
+    Rooting follows the engine's rules (:func:`ensure_rooted`): an explicit
+    ``root_element`` wins, otherwise a root the DTD itself declares; a DTD
+    with neither raises ``ValueError``.
+    """
     dtd = parse_dtd(source) if isinstance(source, str) else source
-    if ROOT_ELEMENT in dtd:
-        return dtd
-    if root_element is None:
-        raise ValueError("root_element is required when the DTD has no attached root")
-    return dtd.with_root(root_element)
+    return ensure_rooted(dtd, root_element)
 
 
 @dataclass
@@ -103,24 +105,90 @@ def run_query_streaming(
     return engine.run_streaming(document, expand_attrs=expand_attrs)
 
 
+def run_query_to_sink(
+    query: Union[str, XQExpr],
+    document: DocumentSource,
+    dtd: Union[str, DTD],
+    writable,
+    *,
+    root_element: Optional[str] = None,
+    expand_attrs: bool = False,
+    projection: bool = True,
+) -> FluxRunResult:
+    """One-shot file-output run: write fragments straight into ``writable``.
+
+    Mirrors :meth:`FluxEngine.run_to_sink` without requiring the caller to
+    build an engine: ``writable`` is anything with a ``write(str)`` method
+    (an open file, a socket wrapper, ``sys.stdout``).  The result's
+    ``output`` is ``None``; peak memory stays independent of output size.
+    """
+    schema = load_dtd(dtd, root_element=root_element)
+    engine = FluxEngine(query, schema, projection=projection)
+    return engine.run_to_sink(document, writable, expand_attrs=expand_attrs)
+
+
+def run_queries(
+    queries: Union[Mapping[str, Union[str, XQExpr]], Sequence[Union[str, XQExpr]]],
+    document: DocumentSource,
+    dtd: Union[str, DTD],
+    *,
+    root_element: Optional[str] = None,
+    collect_output: bool = True,
+    sinks: Optional[Mapping[str, object]] = None,
+    expand_attrs: bool = False,
+    projection: bool = True,
+) -> MultiQueryRun:
+    """Run N queries over one shared document pass (multi-query execution).
+
+    ``queries`` is either a mapping ``name -> query`` or a plain sequence
+    (auto-named ``q0``, ``q1``, ...).  The document is tokenized, coalesced
+    and projected exactly once through the merged union filter; each query
+    executes against its own projected sub-stream with its own buffers and
+    statistics, so per-query results are identical to N independent
+    :func:`run_query` calls -- only the shared scan cost is amortized.
+
+    When ``sinks`` is given it must map every query name to a writable
+    object; each query's output streams into its sink and the per-query
+    ``output`` fields are ``None``.
+    """
+    if isinstance(queries, str):
+        raise TypeError(
+            "queries must be a mapping or a sequence of queries; "
+            "for a single query use run_query(...)"
+        )
+    if not isinstance(queries, Mapping):
+        queries = {f"q{index}": query for index, query in enumerate(queries)}
+    schema = load_dtd(dtd, root_element=root_element)
+    registry = QueryRegistry(schema, projection=projection)
+    for name, query in queries.items():
+        registry.register(name, query)
+    engine = MultiQueryEngine(registry)
+    if sinks is not None:
+        return engine.run_to_sinks(document, sinks, expand_attrs=expand_attrs)
+    return engine.run(document, collect_output=collect_output, expand_attrs=expand_attrs)
+
+
 def compare_engines(
     query: Union[str, XQExpr],
     document: DocumentSource,
     dtd: Union[str, DTD],
     *,
     root_element: Optional[str] = None,
+    projection: bool = True,
 ) -> Dict[str, Dict[str, object]]:
     """Run the FluX engine and both baselines over the same input.
 
     Returns, per engine, the output, the peak buffered bytes and the elapsed
     time -- the three quantities the paper's evaluation reports.  The
     document must be re-readable (text or path), since it is consumed three
-    times.
+    times.  ``projection`` toggles the FluX engine's pre-executor filter so
+    that API-driven ablations match the CLI's ``--no-projection`` and the
+    benchmark harness.
     """
     schema = load_dtd(dtd, root_element=root_element)
     expr = parse_query(query) if isinstance(query, str) else query
 
-    flux_engine = FluxEngine(expr, schema)
+    flux_engine = FluxEngine(expr, schema, projection=projection)
     flux_result = flux_engine.run(document)
 
     naive = NaiveDomEngine(expr).run(document)

@@ -36,6 +36,13 @@ class BufferManager:
         self.stats.record_buffered(count, cost)
 
     def _notify_release(self, count: int, cost: int) -> None:
+        # With N executor states running concurrently (multi-query mode),
+        # a negative count would silently poison every shared debugging
+        # readout -- fail loudly at the first unbalanced release instead.
+        if self._live_buffers <= 0:
+            raise RuntimeError(
+                "buffer release without a matching create: live_buffers would go negative"
+            )
         self.stats.record_freed(count, cost)
         self._live_buffers -= 1
 

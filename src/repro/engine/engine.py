@@ -63,6 +63,23 @@ class FluxRunResult:
 from repro.engine.stats import RunStatistics  # noqa: E402  (documented forward ref)
 
 
+def ensure_rooted(dtd: DTD, root_element: Optional[str] = None) -> DTD:
+    """Attach the virtual document root to a DTD that lacks one.
+
+    Compilation (the engine, the multi-query registry) always works against
+    a rooted DTD; this is the single place the rooting rules live.
+    """
+    if ROOT_ELEMENT in dtd:
+        return dtd
+    if root_element is None:
+        root_element = dtd.root_element
+    if root_element is None:
+        raise ValueError(
+            "the DTD does not declare a document root; pass root_element=..."
+        )
+    return dtd.with_root(root_element)
+
+
 class StreamingRun:
     """An in-flight streaming execution: iterate it to pull output fragments.
 
@@ -132,14 +149,7 @@ class FluxEngine:
         require_safe: bool = True,
         projection: bool = True,
     ):
-        if ROOT_ELEMENT not in dtd:
-            if root_element is None:
-                root_element = dtd.root_element
-            if root_element is None:
-                raise ValueError(
-                    "the DTD does not declare a document root; pass root_element=..."
-                )
-            dtd = dtd.with_root(root_element)
+        dtd = ensure_rooted(dtd, root_element)
         self.dtd = dtd
         self.root_var = root_var
         self.rewrite_result: Optional[RewriteResult] = None

@@ -59,7 +59,18 @@ class RunStatistics:
             self.peak_buffered_bytes = self.buffered_bytes_current
 
     def record_freed(self, events: int, cost: int) -> None:
-        """Account for a buffer being cleared or released."""
+        """Account for a buffer being cleared or released.
+
+        Guards against going negative: every free must match a prior
+        :meth:`record_buffered`.  A silent negative here would corrupt the
+        peak readouts of all subsequent runs sharing these statistics.
+        """
+        if events > self.buffered_events_current or cost > self.buffered_bytes_current:
+            raise RuntimeError(
+                f"freeing {events} events/{cost}B exceeds the "
+                f"{self.buffered_events_current} events/{self.buffered_bytes_current}B "
+                "currently buffered"
+            )
         self.buffered_events_current -= events
         self.buffered_bytes_current -= cost
 

@@ -1,0 +1,164 @@
+"""The multi-query engine: one document pass, N executing plans.
+
+:class:`MultiQueryEngine` is the runtime half of multi-query execution.  A
+run performs *tokenize -> coalesce -> merged-project* exactly once for the
+document and fans every batch out to one executor state per registered
+query::
+
+                                        +-> sub-stream 0 -> executor 0 -> sink 0
+    document -> tokenize -> coalesce -> | merged union filter  ...
+                                        +-> sub-stream N -> executor N -> sink N
+
+Each executor is an ordinary
+:class:`~repro.engine.executor.StreamExecutor` with its own
+:class:`~repro.engine.buffers.BufferManager`, its own
+:class:`~repro.engine.stats.RunStatistics` and its own output sink, driven
+through the ``begin`` / ``process_batch`` / ``finish`` protocol.  Because
+the fan-out hands query *i* exactly the events its solo projection filter
+would have kept, per-query output and peak-buffer numbers are identical to
+N independent runs -- only the shared scan cost is amortized.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Mapping, Optional
+
+from repro.engine.engine import FluxRunResult
+from repro.engine.executor import StreamExecutor
+from repro.engine.stats import RunStatistics
+from repro.multiquery.registry import QueryRegistry, RegisteredQuery
+from repro.pipeline.fanout import MergedProjectionSpec, MergedStreamProjector
+from repro.pipeline.sinks import WritableSink
+from repro.pipeline.stages import coalesce_batches
+from repro.xmlstream.parser import DEFAULT_CHUNK_SIZE, DocumentSource, iter_event_batches
+
+
+class MultiQueryRun:
+    """Per-query results of one shared pass, keyed by registered name."""
+
+    def __init__(self, results: Dict[str, FluxRunResult], elapsed_seconds: float):
+        self.results = results
+        #: Wall-clock time of the whole shared pass (all queries together).
+        self.elapsed_seconds = elapsed_seconds
+
+    def __getitem__(self, name: str) -> FluxRunResult:
+        return self.results[name]
+
+    def __iter__(self):
+        return iter(self.results)
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def items(self):
+        return self.results.items()
+
+    def outputs(self) -> Dict[str, Optional[str]]:
+        """Mapping name -> collected output text."""
+        return {name: result.output for name, result in self.results.items()}
+
+
+class MultiQueryEngine:
+    """Runs every query of a :class:`QueryRegistry` over one shared scan.
+
+    The merged union filter is derived from the registry's projection
+    automata and cached; registering further queries invalidates the cache
+    (the registry's ``version`` tracks this), so the engine can be kept
+    around while the query set grows.
+    """
+
+    def __init__(self, registry: QueryRegistry, *, chunk_size: int = DEFAULT_CHUNK_SIZE):
+        self.registry = registry
+        self.chunk_size = chunk_size
+        self._merged: Optional[MergedProjectionSpec] = None
+        self._merged_version = -1
+
+    # ------------------------------------------------------------- merged spec
+
+    def merged_spec(self) -> MergedProjectionSpec:
+        """The union filter for the current query set (rebuilt on change)."""
+        if len(self.registry) == 0:
+            raise ValueError("the registry has no queries; register some first")
+        if self._merged is None or self._merged_version != self.registry.version:
+            self._merged = MergedProjectionSpec(
+                [entry.projection_spec for entry in self.registry]
+            )
+            self._merged_version = self.registry.version
+        return self._merged
+
+    # --------------------------------------------------------------- execution
+
+    def run(
+        self,
+        document: DocumentSource,
+        *,
+        collect_output: bool = True,
+        expand_attrs: bool = False,
+    ) -> MultiQueryRun:
+        """One shared pass; per-query collected output and statistics."""
+
+        def executor_for(entry: RegisteredQuery, stats: RunStatistics) -> StreamExecutor:
+            return StreamExecutor(
+                entry.plan, collect_output=collect_output, stats=stats, count_input=False
+            )
+
+        return self._execute(document, executor_for, expand_attrs)
+
+    def run_to_sinks(
+        self,
+        document: DocumentSource,
+        writables: Mapping[str, object],
+        *,
+        expand_attrs: bool = False,
+    ) -> MultiQueryRun:
+        """One shared pass, each query streaming into its own writable.
+
+        ``writables`` maps every registered query name to an object with a
+        ``write(str)`` method; fragments are written as they are produced,
+        so peak memory is independent of any query's output size.
+        """
+        missing = [name for name in self.registry.names if name not in writables]
+        if missing:
+            raise ValueError(f"no writable provided for queries: {missing}")
+
+        def executor_for(entry: RegisteredQuery, stats: RunStatistics) -> StreamExecutor:
+            sink = WritableSink(stats, writables[entry.name])
+            return StreamExecutor(entry.plan, stats=stats, sink=sink, count_input=False)
+
+        return self._execute(document, executor_for, expand_attrs)
+
+    # ---------------------------------------------------------------- internals
+
+    def _execute(self, document: DocumentSource, executor_for, expand_attrs: bool) -> MultiQueryRun:
+        entries = list(self.registry)
+        spec = self.merged_spec()
+        started_at = time.perf_counter()
+
+        stats_list = [RunStatistics() for _ in entries]
+        executors: List[StreamExecutor] = [
+            executor_for(entry, stats) for entry, stats in zip(entries, stats_list)
+        ]
+        projector = MergedStreamProjector(spec, stats_list)
+        batches = coalesce_batches(
+            iter_event_batches(
+                document,
+                expand_attrs=expand_attrs,
+                document_events=False,
+                chunk_size=self.chunk_size,
+            )
+        )
+
+        for executor in executors:
+            executor.begin()
+        split = projector.split_batch
+        for batch in batches:
+            subs = split(batch)
+            for executor, sub in zip(executors, subs):
+                if sub:
+                    executor.process_batch(sub)
+        results = {
+            entry.name: FluxRunResult(output=execution.output, stats=execution.stats)
+            for entry, execution in zip(entries, (executor.finish() for executor in executors))
+        }
+        return MultiQueryRun(results, time.perf_counter() - started_at)

@@ -1,0 +1,126 @@
+"""The query registry: N compiled plans for one DTD.
+
+A :class:`QueryRegistry` is the compile-time half of multi-query execution:
+queries are registered once (parse -> normalize -> schedule -> compile,
+exactly the :class:`~repro.engine.engine.FluxEngine` path) and the resulting
+plans and projection automata are held together so that
+:class:`~repro.multiquery.engine.MultiQueryEngine` can build the merged
+union filter and drive every plan from one shared document pass.
+
+Every entry keeps its full single-query engine, so the same compiled plan
+can also be run solo -- that is what the sequential baseline of the
+sharing benchmark uses, guaranteeing the comparison measures the shared
+scan and nothing else.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Optional, Union
+
+from repro.dtd.schema import DTD
+from repro.engine.engine import FluxEngine, ensure_rooted
+from repro.engine.plan import QueryPlan
+from repro.flux.ast import FluxExpr
+from repro.pipeline.projection import ProjectionSpec
+from repro.xquery.ast import XQExpr
+
+#: Anything `FluxEngine` accepts as a query.
+QuerySource = Union[str, XQExpr, FluxExpr]
+
+
+@dataclass
+class RegisteredQuery:
+    """One compiled query held by a registry."""
+
+    name: str
+    index: int
+    engine: FluxEngine = field(repr=False)
+
+    @property
+    def plan(self) -> QueryPlan:
+        """The compiled executor plan."""
+        return self.engine.plan
+
+    @property
+    def projection_spec(self) -> Optional[ProjectionSpec]:
+        """The query's projection automaton; ``None`` when it filters nothing."""
+        return self.engine.pipeline.projection_spec
+
+
+class QueryRegistry:
+    """Compiles and holds N queries against one shared DTD.
+
+    Registration order is preserved; the entry ``index`` is the query's
+    position in every per-run structure (membership masks, sub-batch lists,
+    result mappings).  ``version`` increments on every registration so
+    engines can cache derived structures (the merged filter) and rebuild
+    them only when the query set actually changed.
+    """
+
+    def __init__(
+        self,
+        dtd: DTD,
+        *,
+        root_element: Optional[str] = None,
+        projection: bool = True,
+    ):
+        self.dtd = ensure_rooted(dtd, root_element)
+        self.projection = projection
+        self.version = 0
+        self._entries: Dict[str, RegisteredQuery] = {}
+
+    # ------------------------------------------------------------ registration
+
+    def register(
+        self,
+        name: str,
+        query: QuerySource,
+        *,
+        projection: Optional[bool] = None,
+        apply_simplifications: bool = True,
+        require_safe: bool = True,
+    ) -> RegisteredQuery:
+        """Compile ``query`` and hold it under ``name``.
+
+        ``projection`` overrides the registry default for this one query
+        (its component of the merged filter is then pinned to keep-all).
+        """
+        if name in self._entries:
+            raise ValueError(f"query {name!r} is already registered")
+        engine = FluxEngine(
+            query,
+            self.dtd,
+            projection=self.projection if projection is None else projection,
+            apply_simplifications=apply_simplifications,
+            require_safe=require_safe,
+        )
+        entry = RegisteredQuery(name=name, index=len(self._entries), engine=engine)
+        self._entries[name] = entry
+        self.version += 1
+        return entry
+
+    # ----------------------------------------------------------------- access
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._entries
+
+    def __iter__(self) -> Iterator[RegisteredQuery]:
+        return iter(self._entries.values())
+
+    @property
+    def names(self) -> tuple:
+        """Registered query names, in registration order."""
+        return tuple(self._entries)
+
+    def get(self, name: str) -> RegisteredQuery:
+        """The entry registered under ``name``."""
+        try:
+            return self._entries[name]
+        except KeyError:
+            raise KeyError(
+                f"no query registered under {name!r}; registered: {sorted(self._entries)}"
+            ) from None

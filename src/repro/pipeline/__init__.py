@@ -19,8 +19,13 @@ The execution path of the engine is a pipeline of composable stages::
 :class:`EventPipeline` composes the document-side stages for one plan;
 :class:`repro.engine.engine.FluxEngine` glues pipeline, executor and sink
 into the public ``run`` / ``run_streaming`` / ``run_to_sink`` API.
+
+For multi-query execution (:mod:`repro.multiquery`), the *project* stage is
+replaced by the union filter of :mod:`repro.pipeline.fanout`: one shared
+tokenize/coalesce pass feeds N per-query projected sub-streams.
 """
 
+from repro.pipeline.fanout import MergedProjectionSpec, MergedStreamProjector
 from repro.pipeline.pipeline import EventPipeline
 from repro.pipeline.projection import ProjectionSpec, StreamProjector
 from repro.pipeline.sinks import (
@@ -35,6 +40,8 @@ __all__ = [
     "CollectingSink",
     "EventPipeline",
     "FragmentSink",
+    "MergedProjectionSpec",
+    "MergedStreamProjector",
     "OutputSink",
     "ProjectionSpec",
     "StreamProjector",

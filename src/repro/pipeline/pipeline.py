@@ -46,6 +46,15 @@ class EventPipeline:
         """Whether a (non-trivial) projection filter is active."""
         return self._projection_spec is not None
 
+    @property
+    def projection_spec(self) -> Optional[ProjectionSpec]:
+        """The shareable projection automaton, ``None`` when bypassed.
+
+        The multi-query fan-out stage merges these per-plan automata into
+        one union filter over a shared document pass.
+        """
+        return self._projection_spec
+
     def projector(self, stats=None) -> Optional[StreamProjector]:
         """A fresh per-run projection cursor, or ``None`` when bypassed."""
         if self._projection_spec is None:

@@ -59,6 +59,88 @@ def test_run_command_prints_to_stdout(workspace, capsys):
     assert "<results>" in capsys.readouterr().out
 
 
+@pytest.fixture()
+def xmark_workspace(tmp_path, capsys):
+    """A small generated XMark document on disk (for multirun tests)."""
+    document = tmp_path / "site.xml"
+    main(["generate", "--scale", "0.03", "--output", str(document)])
+    capsys.readouterr()
+    return {"document": str(document), "dir": tmp_path}
+
+
+def test_multirun_prints_every_query_output(xmark_workspace, capsys):
+    code = main(
+        ["multirun", "--query", "Q1", "--query", "Q13",
+         "--document", xmark_workspace["document"]]
+    )
+    captured = capsys.readouterr()
+    assert code == 0
+    assert "--- Q1 ---" in captured.out
+    assert "--- Q13 ---" in captured.out
+    assert "<query1>" in captured.out
+    assert "<query13>" in captured.out
+    assert "shared pass over 2 queries" in captured.err
+    assert "Q1: in=" in captured.err
+
+
+def test_multirun_writes_per_query_output_files(xmark_workspace, capsys):
+    out1 = xmark_workspace["dir"] / "q1.xml"
+    out13 = xmark_workspace["dir"] / "q13.xml"
+    code = main(
+        ["multirun", "--query", "Q1", "--query", "Q13",
+         "--document", xmark_workspace["document"],
+         "--output", str(out1), "--output", str(out13)]
+    )
+    assert code == 0
+    assert out1.read_text(encoding="utf-8").startswith("<query1>")
+    assert out13.read_text(encoding="utf-8").startswith("<query13>")
+    # The files match what solo runs produce.
+    solo = xmark_workspace["dir"] / "solo13.xml"
+    main(["run", "--query", "Q13", "--document", xmark_workspace["document"],
+          "--output", str(solo)])
+    assert out13.read_text(encoding="utf-8") == solo.read_text(encoding="utf-8")
+
+
+def test_run_rejects_output_with_discard(workspace, capsys, tmp_path):
+    target = tmp_path / "never.xml"
+    code = main(
+        ["run", "--query", workspace["query"], "--dtd", workspace["dtd"], "--root", "bib",
+         "--document", workspace["document"], "--discard-output", "--output", str(target)]
+    )
+    assert code == 2
+    assert "mutually exclusive" in capsys.readouterr().err
+    assert not target.exists()
+
+
+def test_multirun_rejects_output_with_discard(xmark_workspace, capsys):
+    code = main(
+        ["multirun", "--query", "Q1", "--document", xmark_workspace["document"],
+         "--discard-output", "--output", "never.xml"]
+    )
+    assert code == 2
+    assert "mutually exclusive" in capsys.readouterr().err
+
+
+def test_multirun_rejects_mismatched_output_count(xmark_workspace, capsys):
+    code = main(
+        ["multirun", "--query", "Q1", "--query", "Q13",
+         "--document", xmark_workspace["document"], "--output", "only-one.xml"]
+    )
+    assert code == 2
+    assert "exactly one per query" in capsys.readouterr().err
+
+
+def test_multirun_uniquifies_repeated_query_names(xmark_workspace, capsys):
+    code = main(
+        ["multirun", "--query", "Q13", "--query", "Q13", "--discard-output",
+         "--document", xmark_workspace["document"]]
+    )
+    assert code == 0
+    err = capsys.readouterr().err
+    assert "Q13:" in err
+    assert "Q13#2:" in err
+
+
 def test_compare_command_reports_agreement(workspace, capsys):
     code = main(
         ["compare", "--query", workspace["query"], "--dtd", workspace["dtd"], "--root", "bib",

@@ -1,5 +1,7 @@
 """Unit tests for the public convenience API (repro.core)."""
 
+import io
+
 import pytest
 
 from repro import (
@@ -8,6 +10,7 @@ from repro import (
     compile_to_flux,
     load_dtd,
     run_query,
+    run_query_to_sink,
 )
 from repro.dtd.schema import ROOT_ELEMENT
 from repro.xmark.usecases import BIB_DTD_UNORDERED, BIB_DTD_USECASES, XMP_INTRO
@@ -52,6 +55,35 @@ def test_compare_engines_returns_all_three_rows():
     assert len(outputs) == 1
     assert comparison["flux"]["peak_buffered_bytes"] <= comparison["projection-dom"]["peak_buffered_bytes"]
     assert comparison["naive-dom"]["peak_buffered_bytes"] >= comparison["projection-dom"]["peak_buffered_bytes"]
+
+
+def test_compare_engines_projection_toggle_passthrough():
+    """The projection toggle must reach the FluX engine (API == CLI ablation)."""
+    filtered = compare_engines(XMP_INTRO, DOC, BIB_DTD_USECASES, root_element="bib")
+    unfiltered = compare_engines(
+        XMP_INTRO, DOC, BIB_DTD_USECASES, root_element="bib", projection=False
+    )
+    assert filtered["flux"]["output"] == unfiltered["flux"]["output"]
+    # Without the pre-executor filter the engine reads every event; with it,
+    # the recorded totals still describe the full document (pre-drop).
+    assert filtered["flux"]["peak_buffered_bytes"] == unfiltered["flux"]["peak_buffered_bytes"]
+
+
+def test_run_query_to_sink_streams_to_writable():
+    writable = io.StringIO()
+    result = run_query_to_sink(XMP_INTRO, DOC, BIB_DTD_USECASES, writable, root_element="bib")
+    assert result.output is None
+    collected = run_query(XMP_INTRO, DOC, BIB_DTD_USECASES, root_element="bib")
+    assert writable.getvalue() == collected.output
+    assert result.stats.output_bytes == collected.stats.output_bytes
+
+
+def test_run_query_to_sink_to_file(tmp_path):
+    target = tmp_path / "result.xml"
+    with open(target, "w", encoding="utf-8") as handle:
+        run_query_to_sink(XMP_INTRO, DOC, BIB_DTD_USECASES, handle, root_element="bib")
+    collected = run_query(XMP_INTRO, DOC, BIB_DTD_USECASES, root_element="bib")
+    assert target.read_text(encoding="utf-8") == collected.output
 
 
 def test_engine_requires_root_information():

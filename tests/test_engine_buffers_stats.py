@@ -58,6 +58,38 @@ def test_peak_tracks_concurrent_buffers():
     assert stats.peak_buffered_events == 4
 
 
+def test_unbalanced_release_cannot_drive_live_buffers_negative():
+    """Regression: with N concurrent executor states sharing debugging
+    output, a double-counted release must fail loudly, never leave
+    ``live_buffers`` negative."""
+    stats = RunStatistics()
+    manager = BufferManager(stats)
+    buffer = manager.create_buffer()
+    buffer.append(StartElement("a"))
+    buffer.release()
+    assert manager.live_buffers == 0
+    # EventBuffer.release is idempotent: the second call is a no-op...
+    buffer.release()
+    assert manager.live_buffers == 0
+    # ...but a release that bypasses the idempotence guard is rejected
+    # before the counter can go negative.
+    with pytest.raises(RuntimeError, match="live_buffers"):
+        manager._notify_release(0, 0)
+    assert manager.live_buffers == 0
+
+
+def test_freeing_more_than_buffered_is_rejected():
+    stats = RunStatistics()
+    stats.record_buffered(2, 20)
+    with pytest.raises(RuntimeError, match="exceeds"):
+        stats.record_freed(3, 20)
+    with pytest.raises(RuntimeError, match="exceeds"):
+        stats.record_freed(2, 21)
+    stats.record_freed(2, 20)
+    assert stats.buffered_events_current == 0
+    assert stats.buffered_bytes_current == 0
+
+
 def test_buffer_to_tree_wraps_forest_under_scope_name():
     manager = BufferManager()
     buffer = manager.create_buffer()
