@@ -10,7 +10,9 @@ queries explode -- is what the harness reproduces.
 
 from __future__ import annotations
 
+import json
 import os
+import platform
 from typing import Dict, List
 
 from repro.xmark.generator import config_for_scale, generate_document
@@ -48,3 +50,39 @@ def record_row(benchmark, **fields) -> None:
     benchmark.extra_info.update({key: value for key, value in fields.items() if key != "table"})
     benchmark.extra_info["table"] = fields.get("table", "")
     COLLECTED_ROWS.append(dict(fields))
+
+
+def write_json_reports(directory: str = "") -> List[str]:
+    """Emit one machine-readable ``BENCH_<table>.json`` per collected table.
+
+    Terminal tables are for humans; these files are for the perf
+    trajectory: every benchmark run drops ``BENCH_pipeline.json`` /
+    ``BENCH_multiquery.json`` / ``BENCH_bounded_memory.json`` / ... next to
+    the working directory (override with ``REPRO_BENCH_JSON_DIR``) so CI
+    can archive them and successive runs can be diffed.  Returns the paths
+    written.
+    """
+    directory = directory or os.environ.get("REPRO_BENCH_JSON_DIR") or "."
+    os.makedirs(directory, exist_ok=True)
+    tables: Dict[str, List[dict]] = {}
+    for row in COLLECTED_ROWS:
+        table = row.get("table")
+        if not table:
+            continue
+        tables.setdefault(table, []).append(
+            {key: value for key, value in row.items() if key != "table"}
+        )
+    written: List[str] = []
+    for table, rows in tables.items():
+        path = os.path.join(directory, f"BENCH_{table.replace('-', '_')}.json")
+        payload = {
+            "table": table,
+            "python": platform.python_version(),
+            "scales": list(FIGURE4_SCALES),
+            "rows": rows,
+        }
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True, default=str)
+            handle.write("\n")
+        written.append(path)
+    return written

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from _workload import COLLECTED_ROWS, FIGURE4_SCALES, xmark_document
+from _workload import COLLECTED_ROWS, FIGURE4_SCALES, write_json_reports, xmark_document
 
 
 @pytest.fixture(scope="session")
@@ -66,3 +66,21 @@ def pytest_terminal_summary(terminalreporter, exitstatus, config):
                 f"{size}B: {peak}B" for size, peak in zip(row["document_bytes"], row["peaks"])
             )
             terminalreporter.write_line(f"{row['query']:>6} {row['engine']:>16}  {pairs}")
+    bounded_rows = [row for row in COLLECTED_ROWS if row.get("table") == "bounded_memory"]
+    if bounded_rows:
+        terminalreporter.write_sep(
+            "=", "Bounded-memory execution (resident cap vs unbounded peak, spills engaged)"
+        )
+        terminalreporter.write_line(
+            f"{'query':>6} {'doc bytes':>10} {'unbounded [B]':>14} {'budget [B]':>11} "
+            f"{'resident [B]':>13} {'spills':>7} {'time [s]':>9} {'unbounded [s]':>14}"
+        )
+        for row in sorted(bounded_rows, key=lambda r: (r["query"], r["budget_bytes"])):
+            terminalreporter.write_line(
+                f"{row['query']:>6} {row['document_bytes']:>10} {row['unbounded_peak_bytes']:>14} "
+                f"{row['budget_bytes']:>11} {row['peak_resident_bytes']:>13} "
+                f"{row['spill_count']:>7} {row['seconds']:>9.3f} {row['unbounded_seconds']:>14.3f}"
+            )
+    if COLLECTED_ROWS:
+        for path in write_json_reports():
+            terminalreporter.write_line(f"machine-readable report: {path}")

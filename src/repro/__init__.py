@@ -17,6 +17,8 @@ buffering.  This package reimplements the complete system:
 * :mod:`repro.engine` -- the streaming engine with projected buffers,
 * :mod:`repro.multiquery` -- multi-query shared-stream execution (one
   parse, N queries, merged projection with membership masks),
+* :mod:`repro.storage` -- bounded-memory execution: a memory governor with
+  a hard byte budget, spillable paged buffers and a temp-file spill store,
 * :mod:`repro.baselines` -- full-materialisation and projection baselines,
 * :mod:`repro.xmark` -- XMark-like workload generator and benchmark queries,
 * :mod:`repro.core` -- the public API (start here).
@@ -36,6 +38,7 @@ from repro.core import (
     CompiledQuery,
     FluxEngine,
     FluxRunResult,
+    MemoryGovernor,
     MultiQueryEngine,
     MultiQueryRun,
     NaiveDomEngine,
@@ -46,6 +49,7 @@ from repro.core import (
     compare_engines,
     compile_to_flux,
     load_dtd,
+    parse_memory_budget,
     run_queries,
     run_query,
     run_query_streaming,
@@ -58,6 +62,7 @@ __all__ = [
     "CompiledQuery",
     "FluxEngine",
     "FluxRunResult",
+    "MemoryGovernor",
     "MultiQueryEngine",
     "MultiQueryRun",
     "NaiveDomEngine",
@@ -69,6 +74,7 @@ __all__ = [
     "compare_engines",
     "compile_to_flux",
     "load_dtd",
+    "parse_memory_budget",
     "run_queries",
     "run_query",
     "run_query_streaming",

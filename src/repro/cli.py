@@ -15,9 +15,14 @@ Python code::
 executes a query and reports the output (optionally to a file) together with
 the buffer statistics; ``multirun`` executes several queries over *one*
 shared document pass (repeat ``--query``, optionally one ``--output`` per
-query); ``compare`` runs the FluX engine and both baselines; ``generate``
-produces XMark-like documents; ``xmark`` runs one of the benchmark queries
-on generated data.
+query; ``--stats`` prints a per-query summary table); ``compare`` runs the
+FluX engine and both baselines; ``generate`` produces XMark-like documents;
+``xmark`` runs one of the benchmark queries on generated data.
+
+``run``, ``multirun`` and ``xmark`` accept ``--memory-budget BYTES`` (k/m/g
+suffixes allowed): resident buffered memory is then hard-capped and cold
+buffer pages spill to a temp file, with output byte-identical to the
+unbounded run.
 """
 
 from __future__ import annotations
@@ -32,6 +37,7 @@ from repro.core.api import compile_to_flux, load_dtd, run_query_to_sink
 from repro.engine.engine import FluxEngine
 from repro.dtd.validator import validate_document
 from repro.multiquery import MultiQueryEngine, QueryRegistry
+from repro.storage import parse_memory_budget
 from repro.xmark.dtd import XMARK_DTD_SOURCE
 from repro.xmark.generator import config_for_scale, write_document, generate_document
 from repro.xmark.queries import BENCHMARK_QUERIES
@@ -68,6 +74,20 @@ def _resolve_query(argument: str) -> str:
     return _read(argument)
 
 
+def _add_memory_budget_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--memory-budget",
+        type=parse_memory_budget,
+        default=None,
+        metavar="BYTES",
+        help=(
+            "hard cap on resident buffered memory (accepts k/m/g suffixes, "
+            "e.g. 32m); cold buffer pages spill to a temp file, output is "
+            "unchanged"
+        ),
+    )
+
+
 # ---------------------------------------------------------------------------
 # Subcommands
 
@@ -102,9 +122,15 @@ def _cmd_run(args) -> int:
                 schema,
                 handle,
                 projection=not args.no_projection,
+                memory_budget=args.memory_budget,
             )
     else:
-        engine = FluxEngine(_resolve_query(args.query), schema, projection=not args.no_projection)
+        engine = FluxEngine(
+            _resolve_query(args.query),
+            schema,
+            projection=not args.no_projection,
+            memory_budget=args.memory_budget,
+        )
         result = engine.run(args.document, collect_output=not args.discard_output)
         if not args.discard_output:
             print(result.output)
@@ -135,7 +161,7 @@ def _cmd_multirun(args) -> int:
             suffix += 1
         registry.register(name, _resolve_query(argument))
         names.append(name)
-    engine = MultiQueryEngine(registry)
+    engine = MultiQueryEngine(registry, memory_budget=args.memory_budget)
 
     if args.output:
         with contextlib.ExitStack() as stack:
@@ -156,7 +182,38 @@ def _cmd_multirun(args) -> int:
         f"shared pass over {len(names)} queries: {run.elapsed_seconds:.3f}s total",
         file=sys.stderr,
     )
+    if args.stats:
+        _print_multirun_stats(run, names)
     return 0
+
+
+def _print_multirun_stats(run, names) -> None:
+    """The ``multirun --stats`` per-query summary table (to stderr)."""
+    print(
+        f"{'query':>16} {'in events':>10} {'out bytes':>10} "
+        f"{'peak buffer [B]':>16} {'peak resident [B]':>18} {'spills':>7}",
+        file=sys.stderr,
+    )
+    for name in names:
+        stats = run[name].stats
+        print(
+            f"{name:>16} {stats.input_events:>10} {stats.output_bytes:>10} "
+            f"{stats.peak_buffered_bytes:>16} {stats.peak_resident_bytes:>18} "
+            f"{stats.spill_count:>7}",
+            file=sys.stderr,
+        )
+    if run.memory is not None:
+        memory = run.memory
+        print(
+            f"memory budget: {memory['budget_bytes']}B "
+            f"(page {memory['page_bytes']}B) "
+            f"peak-resident={memory['peak_resident_bytes']}B "
+            f"spills={memory['spill_count']} pages/"
+            f"{memory['spilled_bytes_written']}B "
+            f"faults={memory['fault_count']} pages/"
+            f"{memory['spilled_bytes_read']}B",
+            file=sys.stderr,
+        )
 
 
 def _cmd_compare(args) -> int:
@@ -203,16 +260,27 @@ def _cmd_xmark(args) -> int:
     schema = load_dtd(XMARK_DTD_SOURCE, root_element="site")
     document = generate_document(config_for_scale(args.scale, seed=args.seed))
     query = BENCHMARK_QUERIES[args.query]
-    engine = FluxEngine(query, schema, projection=not args.no_projection)
+    engine = FluxEngine(
+        query,
+        schema,
+        projection=not args.no_projection,
+        memory_budget=args.memory_budget,
+    )
     result = engine.run(document, collect_output=not args.discard_output)
     if not args.discard_output and args.show_output:
         print(result.output)
-    print(
+    line = (
         f"{args.query} on {len(document)} bytes: "
         f"time={result.stats.elapsed_seconds:.3f}s "
         f"peak-buffer={result.stats.peak_buffered_bytes}B "
         f"output={result.stats.output_bytes}B"
     )
+    if args.memory_budget is not None:
+        line += (
+            f" peak-resident={result.stats.peak_resident_bytes}B "
+            f"spills={result.stats.spill_count}"
+        )
+    print(line)
     return 0
 
 
@@ -246,6 +314,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="disable the pre-executor projection filter (for comparisons)",
     )
+    _add_memory_budget_argument(run_parser)
     run_parser.set_defaults(handler=_cmd_run)
 
     multirun_parser = subparsers.add_parser(
@@ -271,6 +340,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-projection",
         action="store_true",
         help="disable every query's projection filter in the merged pass",
+    )
+    _add_memory_budget_argument(multirun_parser)
+    multirun_parser.add_argument(
+        "--stats",
+        action="store_true",
+        help="print a per-query summary table (events, peak buffered bytes, spills) after the run",
     )
     multirun_parser.set_defaults(handler=_cmd_multirun)
 
@@ -303,6 +378,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="disable the pre-executor projection filter (for comparisons)",
     )
+    _add_memory_budget_argument(xmark_parser)
     xmark_parser.set_defaults(handler=_cmd_xmark)
 
     return parser

@@ -33,9 +33,12 @@ from repro.baselines import NaiveDomEngine, ProjectionDomEngine
 from repro.engine.engine import FluxEngine, FluxRunResult, StreamingRun
 from repro.engine.stats import RunStatistics
 from repro.multiquery import MultiQueryEngine, MultiQueryRun, QueryRegistry
+from repro.storage import MemoryGovernor, parse_memory_budget
 
 __all__ = [
     "CompiledQuery",
+    "MemoryGovernor",
+    "parse_memory_budget",
     "FluxEngine",
     "FluxRunResult",
     "MultiQueryEngine",

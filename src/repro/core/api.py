@@ -77,10 +77,15 @@ def run_query(
     collect_output: bool = True,
     expand_attrs: bool = False,
     projection: bool = True,
+    memory_budget: Optional[int] = None,
 ) -> FluxRunResult:
-    """One-shot: schedule, compile and execute a query over a document."""
+    """One-shot: schedule, compile and execute a query over a document.
+
+    ``memory_budget`` (bytes) makes the run's buffers spillable under a
+    hard resident cap (see :mod:`repro.storage`); output is unaffected.
+    """
     schema = load_dtd(dtd, root_element=root_element)
-    engine = FluxEngine(query, schema, projection=projection)
+    engine = FluxEngine(query, schema, projection=projection, memory_budget=memory_budget)
     return engine.run(document, collect_output=collect_output, expand_attrs=expand_attrs)
 
 
@@ -92,6 +97,7 @@ def run_query_streaming(
     root_element: Optional[str] = None,
     expand_attrs: bool = False,
     projection: bool = True,
+    memory_budget: Optional[int] = None,
 ) -> "StreamingRun":
     """One-shot streaming run: iterate serialized output fragments.
 
@@ -101,7 +107,7 @@ def run_query_streaming(
     ``stats`` attribute carries the run statistics once exhausted.
     """
     schema = load_dtd(dtd, root_element=root_element)
-    engine = FluxEngine(query, schema, projection=projection)
+    engine = FluxEngine(query, schema, projection=projection, memory_budget=memory_budget)
     return engine.run_streaming(document, expand_attrs=expand_attrs)
 
 
@@ -114,6 +120,7 @@ def run_query_to_sink(
     root_element: Optional[str] = None,
     expand_attrs: bool = False,
     projection: bool = True,
+    memory_budget: Optional[int] = None,
 ) -> FluxRunResult:
     """One-shot file-output run: write fragments straight into ``writable``.
 
@@ -123,7 +130,7 @@ def run_query_to_sink(
     ``output`` is ``None``; peak memory stays independent of output size.
     """
     schema = load_dtd(dtd, root_element=root_element)
-    engine = FluxEngine(query, schema, projection=projection)
+    engine = FluxEngine(query, schema, projection=projection, memory_budget=memory_budget)
     return engine.run_to_sink(document, writable, expand_attrs=expand_attrs)
 
 
@@ -137,6 +144,7 @@ def run_queries(
     sinks: Optional[Mapping[str, object]] = None,
     expand_attrs: bool = False,
     projection: bool = True,
+    memory_budget: Optional[int] = None,
 ) -> MultiQueryRun:
     """Run N queries over one shared document pass (multi-query execution).
 
@@ -150,6 +158,10 @@ def run_queries(
     When ``sinks`` is given it must map every query name to a writable
     object; each query's output streams into its sink and the per-query
     ``output`` fields are ``None``.
+
+    ``memory_budget`` (bytes) caps resident buffered memory for the whole
+    pass: one shared governor spills the coldest buffer pages of any query
+    to disk when the mix would exceed it (see :mod:`repro.storage`).
     """
     if isinstance(queries, str):
         raise TypeError(
@@ -162,7 +174,7 @@ def run_queries(
     registry = QueryRegistry(schema, projection=projection)
     for name, query in queries.items():
         registry.register(name, query)
-    engine = MultiQueryEngine(registry)
+    engine = MultiQueryEngine(registry, memory_budget=memory_budget)
     if sinks is not None:
         return engine.run_to_sinks(document, sinks, expand_attrs=expand_attrs)
     return engine.run(document, collect_output=collect_output, expand_attrs=expand_attrs)

@@ -4,27 +4,45 @@ Buffers are plain lists of events (Section 5: "Buffers are implemented as
 lists of SAX events"); every append/clear is reported to the shared
 :class:`BufferManager`, which maintains the current and peak totals used by
 the benchmark harness and by the zero-buffering assertions in the tests.
+
+The manager's buffer *class* is pluggable: a ``factory`` callable
+``(manager, name) -> buffer`` swaps the plain in-heap :class:`EventBuffer`
+for any object with the same surface.  The bounded-memory subsystem uses
+this to substitute :class:`~repro.storage.paged_buffer.PagedEventBuffer`,
+whose pages a shared :class:`~repro.storage.governor.MemoryGovernor` may
+spill to disk -- the executor never knows the difference.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional
+from typing import Callable, Iterable, List, Optional
 
 from repro.engine.stats import RunStatistics
 from repro.xmlstream.events import Event
-from repro.xmlstream.tree import XMLNode, events_to_tree
+from repro.xmlstream.tree import XMLNode, events_to_tree, events_to_wrapped_tree
+
+#: Signature of a pluggable buffer factory.
+BufferFactory = Callable[["BufferManager", str], "EventBuffer"]
 
 
 class BufferManager:
     """Tracks aggregate buffer usage across all live buffers of one run."""
 
-    def __init__(self, stats: Optional[RunStatistics] = None):
+    def __init__(
+        self,
+        stats: Optional[RunStatistics] = None,
+        *,
+        factory: Optional[BufferFactory] = None,
+    ):
         self.stats = stats or RunStatistics()
+        self._factory = factory
         self._live_buffers = 0
 
     def create_buffer(self, name: str = "") -> "EventBuffer":
         """Create a new, empty buffer registered with this manager."""
         self._live_buffers += 1
+        if self._factory is not None:
+            return self._factory(self, name)
         return EventBuffer(self, name=name)
 
     @property
@@ -35,7 +53,7 @@ class BufferManager:
     def _notify_append(self, count: int, cost: int) -> None:
         self.stats.record_buffered(count, cost)
 
-    def _notify_release(self, count: int, cost: int) -> None:
+    def _notify_release(self, count: int, cost: int, resident: Optional[int] = None) -> None:
         # With N executor states running concurrently (multi-query mode),
         # a negative count would silently poison every shared debugging
         # readout -- fail loudly at the first unbalanced release instead.
@@ -43,7 +61,7 @@ class BufferManager:
             raise RuntimeError(
                 "buffer release without a matching create: live_buffers would go negative"
             )
-        self.stats.record_freed(count, cost)
+        self.stats.record_freed(count, cost, resident=resident)
         self._live_buffers -= 1
 
 
@@ -53,6 +71,7 @@ class EventBuffer:
     def __init__(self, manager: BufferManager, name: str = ""):
         self._manager = manager
         self._events: List[Event] = []
+        self._count = 0
         self._cost = 0
         self._released = False
         self.name = name
@@ -67,7 +86,13 @@ class EventBuffer:
 
     @property
     def events(self) -> List[Event]:
-        """The buffered events (read-only view by convention)."""
+        """The buffered events (read-only view by convention).
+
+        This is the live list; mutating it is not part of the contract,
+        but :meth:`release` stays balanced even for a consumer that
+        drains it in place.  (The spillable paged buffer returns a
+        materialized *copy* here -- do not rely on mutation.)
+        """
         return self._events
 
     @property
@@ -83,6 +108,7 @@ class EventBuffer:
             raise RuntimeError(f"buffer {self.name!r} was already released")
         self._events.append(event)
         cost = event.cost_in_bytes()
+        self._count += 1
         self._cost += cost
         self._manager._notify_append(1, cost)
 
@@ -92,12 +118,20 @@ class EventBuffer:
             self.append(event)
 
     def release(self) -> None:
-        """Free the buffer (when its variable scope ends)."""
+        """Free the buffer (when its variable scope ends).
+
+        Frees exactly the totals recorded at append time (``_count`` /
+        ``_cost``), *not* the current length of the event list: a caller
+        that drained part of the exposed list (a partial flush) must still
+        see a release whose freed events and bytes match what was charged,
+        or the manager's fail-loud guards fire on a phantom imbalance.
+        """
         if self._released:
             return
         self._released = True
-        self._manager._notify_release(len(self._events), self._cost)
+        self._manager._notify_release(self._count, self._cost)
         self._events = []
+        self._count = 0
         self._cost = 0
 
     # ---------------------------------------------------------- conversion
@@ -110,12 +144,7 @@ class EventBuffer:
         that relative paths behave as if they navigated the original
         element.
         """
-        root = events_to_tree(self._events)
-        if root is None:
-            return XMLNode(wrapper_name)
-        if root.name == "#fragment":
-            return XMLNode(wrapper_name, list(root.children))
-        return XMLNode(wrapper_name, [root])
+        return events_to_wrapped_tree(self._events, wrapper_name)
 
     def to_single_node(self) -> Optional[XMLNode]:
         """Materialise a buffer that captured one complete element (root-marked).

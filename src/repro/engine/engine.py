@@ -37,6 +37,7 @@ from repro.flux.ast import FluxExpr
 from repro.flux.rewrite import RewriteResult, rewrite_to_flux
 from repro.pipeline.pipeline import EventPipeline
 from repro.pipeline.sinks import FragmentSink, WritableSink
+from repro.storage.governor import MemoryGovernor
 from repro.xmlstream.parser import DocumentSource
 from repro.xquery.ast import ROOT_VARIABLE, XQExpr
 from repro.xquery.parser import parse_query
@@ -89,10 +90,11 @@ class StreamingRun:
     while streaming, with partially-accumulated counters).
     """
 
-    def __init__(self, executor: StreamExecutor, sink: FragmentSink, batches):
+    def __init__(self, executor: StreamExecutor, sink: FragmentSink, batches, governor=None):
         self._executor = executor
         self._sink = sink
         self._batches = batches
+        self._governor = governor
         self._consumed = False
         self.stats: RunStatistics = executor.stats
 
@@ -104,19 +106,25 @@ class StreamingRun:
         self._consumed = True
         executor = self._executor
         sink = self._sink
-        executor.begin()
-        fragment = sink.drain()
-        if fragment:
-            yield fragment
-        for batch in self._batches:
-            executor.process_batch(batch)
+        try:
+            executor.begin()
             fragment = sink.drain()
             if fragment:
                 yield fragment
-        executor.finish()
-        fragment = sink.drain()
-        if fragment:
-            yield fragment
+            for batch in self._batches:
+                executor.process_batch(batch)
+                fragment = sink.drain()
+                if fragment:
+                    yield fragment
+            executor.finish()
+            fragment = sink.drain()
+            if fragment:
+                yield fragment
+        finally:
+            # The governor (if any) is per-run: its spill file dies with the
+            # stream, whether the consumer exhausted it or abandoned it.
+            if self._governor is not None:
+                self._governor.close()
 
 
 class FluxEngine:
@@ -136,6 +144,16 @@ class FluxEngine:
         Derive a streaming projection filter from the compiled plan and drop
         events of provably untouched subtrees before they reach the
         executor (on by default; pass ``False`` to measure its effect).
+    memory_budget:
+        Hard cap, in bytes, on resident buffered memory.  When set, every
+        run gets its own :class:`~repro.storage.governor.MemoryGovernor`:
+        scope buffers become spillable pages and the coldest are evicted to
+        a temp file whenever the cap would be exceeded.  Output is
+        byte-identical in every mode; only residency and throughput change.
+        ``None`` (the default) keeps all buffers on the heap.
+    memory_page_bytes:
+        Page granularity for spillable buffers (defaults to a size scaled
+        to the budget); only meaningful with ``memory_budget``.
     """
 
     def __init__(
@@ -148,10 +166,14 @@ class FluxEngine:
         apply_simplifications: bool = True,
         require_safe: bool = True,
         projection: bool = True,
+        memory_budget: Optional[int] = None,
+        memory_page_bytes: Optional[int] = None,
     ):
         dtd = ensure_rooted(dtd, root_element)
         self.dtd = dtd
         self.root_var = root_var
+        self.memory_budget = memory_budget
+        self.memory_page_bytes = memory_page_bytes
         self.rewrite_result: Optional[RewriteResult] = None
 
         if isinstance(query, FluxExpr):
@@ -181,12 +203,19 @@ class FluxEngine:
 
     # ------------------------------------------------------------ execution
 
+    def _make_governor(self) -> Optional[MemoryGovernor]:
+        """A fresh per-run governor, or ``None`` when memory is unbounded."""
+        if self.memory_budget is None:
+            return None
+        return MemoryGovernor(self.memory_budget, page_bytes=self.memory_page_bytes)
+
     def _executor(
         self,
         *,
         collect_output: bool = True,
         sink=None,
         stats: Optional[RunStatistics] = None,
+        governor: Optional[MemoryGovernor] = None,
     ) -> StreamExecutor:
         stats = stats or RunStatistics()
         return StreamExecutor(
@@ -197,6 +226,7 @@ class FluxEngine:
             # With the projection filter active, input accounting happens in
             # the filter (pre-drop); the executor must not double-count.
             count_input=not self.pipeline.projection_enabled,
+            buffer_factory=governor.make_buffer if governor is not None else None,
         )
 
     def run(
@@ -207,18 +237,28 @@ class FluxEngine:
         expand_attrs: bool = False,
     ) -> FluxRunResult:
         """Execute the query over a document (text, path, file object, chunks)."""
-        executor = self._executor(collect_output=collect_output)
-        batches = self.pipeline.event_batches(
-            document, expand_attrs=expand_attrs, stats=executor.stats
-        )
-        result: ExecutionResult = executor.run_batches(batches)
+        governor = self._make_governor()
+        try:
+            executor = self._executor(collect_output=collect_output, governor=governor)
+            batches = self.pipeline.event_batches(
+                document, expand_attrs=expand_attrs, stats=executor.stats
+            )
+            result: ExecutionResult = executor.run_batches(batches)
+        finally:
+            if governor is not None:
+                governor.close()
         return FluxRunResult(output=result.output, stats=result.stats)
 
     def run_events(self, events, *, collect_output: bool = True) -> FluxRunResult:
         """Execute the query over an already-parsed event iterable."""
-        executor = self._executor(collect_output=collect_output)
-        batches = self.pipeline.adapt_events(events, executor.stats)
-        result: ExecutionResult = executor.run_batches(batches)
+        governor = self._make_governor()
+        try:
+            executor = self._executor(collect_output=collect_output, governor=governor)
+            batches = self.pipeline.adapt_events(events, executor.stats)
+            result: ExecutionResult = executor.run_batches(batches)
+        finally:
+            if governor is not None:
+                governor.close()
         return FluxRunResult(output=result.output, stats=result.stats)
 
     def run_streaming(
@@ -235,9 +275,10 @@ class FluxEngine:
         """
         stats = RunStatistics()
         sink = FragmentSink(stats)
-        executor = self._executor(sink=sink, stats=stats)
+        governor = self._make_governor()
+        executor = self._executor(sink=sink, stats=stats, governor=governor)
         batches = self.pipeline.event_batches(document, expand_attrs=expand_attrs, stats=stats)
-        return StreamingRun(executor, sink, batches)
+        return StreamingRun(executor, sink, batches, governor=governor)
 
     def run_to_sink(
         self,
@@ -254,7 +295,14 @@ class FluxEngine:
         """
         stats = RunStatistics()
         sink = WritableSink(stats, writable)
-        executor = self._executor(sink=sink, stats=stats)
-        batches = self.pipeline.event_batches(document, expand_attrs=expand_attrs, stats=stats)
-        result = executor.run_batches(batches)
+        governor = self._make_governor()
+        try:
+            executor = self._executor(sink=sink, stats=stats, governor=governor)
+            batches = self.pipeline.event_batches(
+                document, expand_attrs=expand_attrs, stats=stats
+            )
+            result = executor.run_batches(batches)
+        finally:
+            if governor is not None:
+                governor.close()
         return FluxRunResult(output=None, stats=result.stats)

@@ -189,7 +189,9 @@ class StreamExecutor:
     omitted, a collecting or counting-only sink is chosen according to
     ``collect_output``.  ``count_input`` disables the executor's own input
     accounting when an upstream stage (the projection filter) already
-    records it.
+    records it.  ``buffer_factory`` swaps the scope buffers' implementation
+    (a memory governor's ``make_buffer`` makes them spillable under a byte
+    budget); omitted, buffers are plain in-heap event lists.
     """
 
     def __init__(
@@ -200,13 +202,14 @@ class StreamExecutor:
         stats: Optional[RunStatistics] = None,
         sink: Optional[OutputSink] = None,
         count_input: bool = True,
+        buffer_factory=None,
     ):
         self.plan = plan
         self.stats = stats or RunStatistics()
         if sink is None:
             sink = CollectingSink(self.stats) if collect_output else OutputSink(self.stats)
         self.sink = sink
-        self.buffers = BufferManager(self.stats)
+        self.buffers = BufferManager(self.stats, factory=buffer_factory)
         self._count_input = count_input
         self._started_at = 0.0
         self._stack: List[_Frame] = []

@@ -10,7 +10,12 @@ quantities for this implementation:
 * ``peak_condition_bytes`` -- high-water mark of the per-scope condition
   value/flag store (the "Boolean flag" store of Section 5; reported
   separately because the paper does not count it as buffering),
-* event and byte counters for the input and the output.
+* event and byte counters for the input and the output,
+* ``peak_resident_bytes`` plus the spill counters -- the bounded-memory
+  extension (:mod:`repro.storage`).  *Buffered* bytes are the logical
+  quantity the paper reports and are unaffected by spilling; *resident*
+  bytes are the part of them actually held in memory.  Without a memory
+  governor the two are always equal.
 
 Recording is *batch-aware*: the pipeline calls :meth:`RunStatistics.record_input`
 once per event batch (one bounded chunk of the document), not once per
@@ -23,6 +28,7 @@ executor's own accounting is disabled.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Optional
 
 
 @dataclass
@@ -40,6 +46,13 @@ class RunStatistics:
     peak_buffered_bytes: int = 0
     total_buffered_events: int = 0
 
+    resident_bytes_current: int = 0
+    peak_resident_bytes: int = 0
+    spill_count: int = 0
+    spilled_bytes_written: int = 0
+    page_faults: int = 0
+    spilled_bytes_read: int = 0
+
     condition_bytes_current: int = 0
     peak_condition_bytes: int = 0
 
@@ -48,8 +61,15 @@ class RunStatistics:
 
     # ------------------------------------------------------------- buffers
 
-    def record_buffered(self, events: int, cost: int) -> None:
-        """Account for events added to some buffer."""
+    def record_buffered(self, events: int, cost: int, settle_resident: bool = True) -> None:
+        """Account for events added to some buffer.
+
+        ``settle_resident=False`` defers the resident high-water sample:
+        the paged-buffer append admits the bytes first, lets the governor
+        evict, and only then samples ``peak_resident_bytes`` itself, so
+        the recorded peak is the post-eviction residency the budget
+        actually bounds.
+        """
         self.buffered_events_current += events
         self.buffered_bytes_current += cost
         self.total_buffered_events += events
@@ -57,9 +77,17 @@ class RunStatistics:
             self.peak_buffered_events = self.buffered_events_current
         if self.buffered_bytes_current > self.peak_buffered_bytes:
             self.peak_buffered_bytes = self.buffered_bytes_current
+        self.resident_bytes_current += cost
+        if settle_resident and self.resident_bytes_current > self.peak_resident_bytes:
+            self.peak_resident_bytes = self.resident_bytes_current
 
-    def record_freed(self, events: int, cost: int) -> None:
+    def record_freed(self, events: int, cost: int, resident: Optional[int] = None) -> None:
         """Account for a buffer being cleared or released.
+
+        ``resident`` is the part of ``cost`` that was still held in memory
+        at release time -- a paged buffer whose pages were spilled frees its
+        full logical cost but only its resident remainder; plain buffers
+        omit it (everything was resident).
 
         Guards against going negative: every free must match a prior
         :meth:`record_buffered`.  A silent negative here would corrupt the
@@ -71,8 +99,32 @@ class RunStatistics:
                 f"{self.buffered_events_current} events/{self.buffered_bytes_current}B "
                 "currently buffered"
             )
+        resident_cost = cost if resident is None else resident
+        if resident_cost > self.resident_bytes_current:
+            raise RuntimeError(
+                f"freeing {resident_cost}B resident exceeds the "
+                f"{self.resident_bytes_current}B currently resident"
+            )
         self.buffered_events_current -= events
         self.buffered_bytes_current -= cost
+        self.resident_bytes_current -= resident_cost
+
+    def record_spill(self, cost: int, encoded_bytes: int) -> None:
+        """Account for one page evicted to disk: ``cost`` logical bytes
+        leave residency (the buffered totals are untouched)."""
+        if cost > self.resident_bytes_current:
+            raise RuntimeError(
+                f"spilling {cost}B exceeds the "
+                f"{self.resident_bytes_current}B currently resident"
+            )
+        self.resident_bytes_current -= cost
+        self.spill_count += 1
+        self.spilled_bytes_written += encoded_bytes
+
+    def record_page_fault(self, encoded_bytes: int) -> None:
+        """Account for one spilled page decoded back on a buffer flush."""
+        self.page_faults += 1
+        self.spilled_bytes_read += encoded_bytes
 
     def record_condition_bytes(self, delta: int) -> None:
         """Account for condition values captured on the fly."""
@@ -100,10 +152,17 @@ class RunStatistics:
 
     def summary(self) -> str:
         """One-line human-readable summary used by the examples."""
-        return (
+        text = (
             f"in={self.input_events} events/{self.input_bytes}B "
             f"out={self.output_bytes}B "
             f"peak-buffer={self.peak_buffered_events} events/{self.peak_buffered_bytes}B "
             f"peak-conditions={self.peak_condition_bytes}B "
             f"time={self.elapsed_seconds:.3f}s"
         )
+        if self.spill_count or self.page_faults:
+            text += (
+                f" peak-resident={self.peak_resident_bytes}B"
+                f" spills={self.spill_count} pages/{self.spilled_bytes_written}B"
+                f" faults={self.page_faults} pages/{self.spilled_bytes_read}B"
+            )
+        return text

@@ -31,16 +31,25 @@ from repro.multiquery.registry import QueryRegistry, RegisteredQuery
 from repro.pipeline.fanout import MergedProjectionSpec, MergedStreamProjector
 from repro.pipeline.sinks import WritableSink
 from repro.pipeline.stages import coalesce_batches
+from repro.storage.governor import MemoryGovernor
 from repro.xmlstream.parser import DEFAULT_CHUNK_SIZE, DocumentSource, iter_event_batches
 
 
 class MultiQueryRun:
     """Per-query results of one shared pass, keyed by registered name."""
 
-    def __init__(self, results: Dict[str, FluxRunResult], elapsed_seconds: float):
+    def __init__(
+        self,
+        results: Dict[str, FluxRunResult],
+        elapsed_seconds: float,
+        memory: Optional[dict] = None,
+    ):
         self.results = results
         #: Wall-clock time of the whole shared pass (all queries together).
         self.elapsed_seconds = elapsed_seconds
+        #: Shared memory-governor telemetry (budget, peak resident, spills)
+        #: when the pass ran under a memory budget; ``None`` otherwise.
+        self.memory = memory
 
     def __getitem__(self, name: str) -> FluxRunResult:
         return self.results[name]
@@ -66,11 +75,27 @@ class MultiQueryEngine:
     automata and cached; registering further queries invalidates the cache
     (the registry's ``version`` tracks this), so the engine can be kept
     around while the query set grows.
+
+    ``memory_budget`` caps resident buffered bytes for the *whole* pass:
+    every run creates one :class:`~repro.storage.governor.MemoryGovernor`
+    shared by all N executor states, so a join-heavy query's buffers are
+    spilled before the mix as a whole can outgrow the machine.  Per-query
+    output stays byte-identical; per-query statistics carry each query's
+    own spill counts and resident high-water marks.
     """
 
-    def __init__(self, registry: QueryRegistry, *, chunk_size: int = DEFAULT_CHUNK_SIZE):
+    def __init__(
+        self,
+        registry: QueryRegistry,
+        *,
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+        memory_budget: Optional[int] = None,
+        memory_page_bytes: Optional[int] = None,
+    ):
         self.registry = registry
         self.chunk_size = chunk_size
+        self.memory_budget = memory_budget
+        self.memory_page_bytes = memory_page_bytes
         self._merged: Optional[MergedProjectionSpec] = None
         self._merged_version = -1
 
@@ -98,9 +123,13 @@ class MultiQueryEngine:
     ) -> MultiQueryRun:
         """One shared pass; per-query collected output and statistics."""
 
-        def executor_for(entry: RegisteredQuery, stats: RunStatistics) -> StreamExecutor:
+        def executor_for(entry: RegisteredQuery, stats: RunStatistics, factory) -> StreamExecutor:
             return StreamExecutor(
-                entry.plan, collect_output=collect_output, stats=stats, count_input=False
+                entry.plan,
+                collect_output=collect_output,
+                stats=stats,
+                count_input=False,
+                buffer_factory=factory,
             )
 
         return self._execute(document, executor_for, expand_attrs)
@@ -122,9 +151,11 @@ class MultiQueryEngine:
         if missing:
             raise ValueError(f"no writable provided for queries: {missing}")
 
-        def executor_for(entry: RegisteredQuery, stats: RunStatistics) -> StreamExecutor:
+        def executor_for(entry: RegisteredQuery, stats: RunStatistics, factory) -> StreamExecutor:
             sink = WritableSink(stats, writables[entry.name])
-            return StreamExecutor(entry.plan, stats=stats, sink=sink, count_input=False)
+            return StreamExecutor(
+                entry.plan, stats=stats, sink=sink, count_input=False, buffer_factory=factory
+            )
 
         return self._execute(document, executor_for, expand_attrs)
 
@@ -135,9 +166,17 @@ class MultiQueryEngine:
         spec = self.merged_spec()
         started_at = time.perf_counter()
 
+        # One governor for the whole pass: all N executors' buffers share
+        # the same byte budget, LRU and spill file.
+        governor: Optional[MemoryGovernor] = None
+        factory = None
+        if self.memory_budget is not None:
+            governor = MemoryGovernor(self.memory_budget, page_bytes=self.memory_page_bytes)
+            factory = governor.make_buffer
+
         stats_list = [RunStatistics() for _ in entries]
         executors: List[StreamExecutor] = [
-            executor_for(entry, stats) for entry, stats in zip(entries, stats_list)
+            executor_for(entry, stats, factory) for entry, stats in zip(entries, stats_list)
         ]
         projector = MergedStreamProjector(spec, stats_list)
         batches = coalesce_batches(
@@ -149,16 +188,21 @@ class MultiQueryEngine:
             )
         )
 
-        for executor in executors:
-            executor.begin()
-        split = projector.split_batch
-        for batch in batches:
-            subs = split(batch)
-            for executor, sub in zip(executors, subs):
-                if sub:
-                    executor.process_batch(sub)
-        results = {
-            entry.name: FluxRunResult(output=execution.output, stats=execution.stats)
-            for entry, execution in zip(entries, (executor.finish() for executor in executors))
-        }
-        return MultiQueryRun(results, time.perf_counter() - started_at)
+        try:
+            for executor in executors:
+                executor.begin()
+            split = projector.split_batch
+            for batch in batches:
+                subs = split(batch)
+                for executor, sub in zip(executors, subs):
+                    if sub:
+                        executor.process_batch(sub)
+            results = {
+                entry.name: FluxRunResult(output=execution.output, stats=execution.stats)
+                for entry, execution in zip(entries, (executor.finish() for executor in executors))
+            }
+            memory = governor.telemetry() if governor is not None else None
+        finally:
+            if governor is not None:
+                governor.close()
+        return MultiQueryRun(results, time.perf_counter() - started_at, memory=memory)

@@ -1,0 +1,42 @@
+"""Bounded-memory execution: spillable buffers under a hard byte budget.
+
+The paper minimizes *what* is buffered; this package bounds *where* it
+lives.  A :class:`MemoryGovernor` owns a global byte budget and the
+admission accounting for every buffered event; buffers created through its
+factory are :class:`PagedEventBuffer` instances whose sealed pages the
+governor may evict -- encoded by the :mod:`~repro.storage.codec` -- into a
+temp-file :class:`SpillStore` and decode back on flush.  Output stays
+byte-identical to in-memory runs in every sink mode; only residency,
+spill counters and (past the budget) throughput change.
+
+Entry points:
+
+* ``FluxEngine(..., memory_budget=...)`` / ``run_query(..., memory_budget=...)``
+  -- one governor per run,
+* ``MultiQueryEngine(registry, memory_budget=...)`` -- one governor shared
+  across all N executor states of the pass,
+* CLI: ``--memory-budget 32m`` on ``run``, ``multirun`` and ``xmark``.
+"""
+
+from repro.storage.codec import decode_events, encode_events
+from repro.storage.governor import (
+    DEFAULT_PAGE_BYTES,
+    MIN_PAGE_BYTES,
+    MemoryGovernor,
+    parse_memory_budget,
+)
+from repro.storage.paged_buffer import Page, PagedEventBuffer
+from repro.storage.spill import PageHandle, SpillStore
+
+__all__ = [
+    "DEFAULT_PAGE_BYTES",
+    "MIN_PAGE_BYTES",
+    "MemoryGovernor",
+    "Page",
+    "PagedEventBuffer",
+    "PageHandle",
+    "SpillStore",
+    "decode_events",
+    "encode_events",
+    "parse_memory_budget",
+]

@@ -1,0 +1,127 @@
+"""Compact length-prefixed codec for spilled event pages.
+
+A spilled page is a flat byte string: a sequence of records, one per SAX
+event, each a one-byte kind tag followed by varint-length-prefixed UTF-8
+payloads.  The format is deliberately tiny and self-contained -- no pickle,
+no per-event object overhead on disk -- and the round-trip is *exact*:
+``decode_events(encode_events(events)) == events`` for every event the
+engine buffers (names, attribute order and character data are preserved
+byte-for-byte, which is what keeps spilled runs byte-identical to
+in-memory runs).
+
+Record layout::
+
+    kind:1  payload...
+
+    0x01  StartElement, no attributes:   varint(len) name
+    0x02  StartElement with attributes:  varint(len) name  varint(n)
+                                         n * (varint(len) key varint(len) value)
+    0x03  EndElement:                    varint(len) name
+    0x04  Characters:                    varint(len) text
+
+Varints are the usual LEB128 unsigned encoding (7 bits per byte, high bit
+= continuation), so short names cost a single length byte.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Tuple
+
+from repro.xmlstream.events import Characters, EndElement, Event, StartElement
+
+_KIND_START = 0x01
+_KIND_START_ATTRS = 0x02
+_KIND_END = 0x03
+_KIND_CHARACTERS = 0x04
+
+
+def _append_varint(out: bytearray, value: int) -> None:
+    while value > 0x7F:
+        out.append((value & 0x7F) | 0x80)
+        value >>= 7
+    out.append(value)
+
+
+def _append_str(out: bytearray, text: str) -> None:
+    payload = text.encode("utf-8")
+    _append_varint(out, len(payload))
+    out += payload
+
+
+def encode_events(events: Iterable[Event]) -> bytes:
+    """Serialize a sequence of buffered events to one page payload."""
+    out = bytearray()
+    for event in events:
+        cls = event.__class__
+        if cls is StartElement:
+            if event.attributes:
+                out.append(_KIND_START_ATTRS)
+                _append_str(out, event.name)
+                _append_varint(out, len(event.attributes))
+                for key, value in event.attributes:
+                    _append_str(out, key)
+                    _append_str(out, value)
+            else:
+                out.append(_KIND_START)
+                _append_str(out, event.name)
+        elif cls is Characters:
+            out.append(_KIND_CHARACTERS)
+            _append_str(out, event.text)
+        elif cls is EndElement:
+            out.append(_KIND_END)
+            _append_str(out, event.name)
+        else:
+            # Document boundary events are never buffered (the executor
+            # strips them before any buffer sees the stream).
+            raise TypeError(f"event cannot be spilled: {event!r}")
+    return bytes(out)
+
+
+def _read_varint(data: bytes, pos: int) -> Tuple[int, int]:
+    value = 0
+    shift = 0
+    while True:
+        byte = data[pos]
+        pos += 1
+        value |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return value, pos
+        shift += 7
+
+
+def _read_str(data: bytes, pos: int) -> Tuple[str, int]:
+    length, pos = _read_varint(data, pos)
+    end = pos + length
+    return data[pos:end].decode("utf-8"), end
+
+
+def decode_events(data: bytes) -> List[Event]:
+    """Reconstruct the event list of one spilled page payload."""
+    events: List[Event] = []
+    append = events.append
+    pos = 0
+    size = len(data)
+    while pos < size:
+        kind = data[pos]
+        pos += 1
+        if kind == _KIND_START:
+            name, pos = _read_str(data, pos)
+            append(StartElement(name))
+        elif kind == _KIND_CHARACTERS:
+            text, pos = _read_str(data, pos)
+            append(Characters(text))
+        elif kind == _KIND_END:
+            name, pos = _read_str(data, pos)
+            append(EndElement(name))
+        elif kind == _KIND_START_ATTRS:
+            name, pos = _read_str(data, pos)
+            count, pos = _read_varint(data, pos)
+            attributes = []
+            for _ in range(count):
+                key, pos = _read_str(data, pos)
+                value, pos = _read_str(data, pos)
+                attributes.append((key, value))
+            append(StartElement(name, tuple(attributes)))
+        else:
+            raise ValueError(f"corrupt spill page: unknown record kind 0x{kind:02x}")
+    return events

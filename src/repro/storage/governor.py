@@ -1,0 +1,218 @@
+"""The memory governor: one hard byte budget for all buffers of a run.
+
+A :class:`MemoryGovernor` owns
+
+* the **budget** -- a global cap on resident (in-memory) buffered bytes,
+* the **admission accounting** -- every byte appended to any
+  :class:`~repro.storage.paged_buffer.PagedEventBuffer` is charged here,
+* the **replacement policy** -- an LRU over all *sealed* pages of all live
+  buffers; when admission pushes the resident total over the budget, the
+  coldest sealed pages are encoded
+  (:mod:`repro.storage.codec`) and evicted to the
+  :class:`~repro.storage.spill.SpillStore` until the total fits again,
+* the **spill store** itself (one anonymous temp file, lazily created).
+
+One governor may be shared by any number of buffer managers: the
+multi-query engine passes a single governor to all N executor states so
+the budget caps the *whole* shared pass, not each query separately.  The
+governor keeps the global counters; per-query attribution (spill counts,
+resident high-water) is recorded into each page's own
+:class:`~repro.engine.stats.RunStatistics`.
+
+Sealed pages are the preferred victims; when none are left and the budget
+is still exceeded, the governor *force-seals* the least-recently-appended
+open tail page and evicts it too (its buffer just starts a new tail on the
+next append).  Admission is therefore never refused, and the resident
+high-water mark stays at or under the budget however small it is -- in the
+worst case every page holds a single event and the run degrades to
+disk-speed rather than aborting.
+
+What the cap covers: *buffered event bytes*, the quantity the paper's
+figures report.  Trees a handler materializes from a buffer (and the
+engine's own fixed structures) are transient extra memory outside this
+ledger, exactly as in the unbounded engine.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Callable, List, Optional
+
+from repro.storage.codec import decode_events, encode_events
+from repro.storage.spill import SpillStore
+
+#: Default page size: small enough that a modest budget holds many pages,
+#: large enough that codec and file overheads amortize.
+DEFAULT_PAGE_BYTES = 16 * 1024
+
+#: Pages never shrink below this, however tiny the budget.
+MIN_PAGE_BYTES = 256
+
+
+def _default_page_bytes(budget_bytes: Optional[int]) -> int:
+    """Scale the page size down with small budgets so eviction has grains
+    to work with (a 4 KiB budget is useless with 16 KiB pages)."""
+    if budget_bytes is None:
+        return DEFAULT_PAGE_BYTES
+    return max(MIN_PAGE_BYTES, min(DEFAULT_PAGE_BYTES, budget_bytes // 8))
+
+
+def parse_memory_budget(text: str) -> int:
+    """Parse a human byte budget: ``1048576``, ``64k``, ``32M``, ``2g``."""
+    raw = text.strip().lower()
+    multiplier = 1
+    for suffix, factor in (("k", 1024), ("m", 1024**2), ("g", 1024**3)):
+        if raw.endswith(suffix):
+            raw = raw[: -len(suffix)]
+            multiplier = factor
+            break
+    try:
+        value = int(float(raw) * multiplier)
+    except (ValueError, OverflowError):  # OverflowError: 'inf', '1e999'
+        raise ValueError(
+            f"invalid memory budget {text!r}; expected bytes or a k/m/g suffix "
+            "(e.g. 1048576, 64k, 32m)"
+        ) from None
+    if value <= 0:
+        raise ValueError(f"memory budget must be positive, got {text!r}")
+    return value
+
+
+class MemoryGovernor:
+    """Budget, admission accounting and LRU eviction for paged buffers."""
+
+    def __init__(
+        self,
+        budget_bytes: Optional[int] = None,
+        *,
+        page_bytes: Optional[int] = None,
+        spill_dir: Optional[str] = None,
+    ):
+        if budget_bytes is not None and budget_bytes <= 0:
+            raise ValueError(f"budget_bytes must be positive, got {budget_bytes}")
+        self.budget_bytes = budget_bytes
+        self.page_bytes = (
+            _default_page_bytes(budget_bytes) if page_bytes is None else page_bytes
+        )
+        if self.page_bytes < 1:
+            raise ValueError(f"page_bytes must be positive, got {self.page_bytes}")
+        self.store = SpillStore(spill_dir)
+        #: Sealed, resident pages in least-recently-used-first order.
+        self._lru: "OrderedDict" = OrderedDict()
+        #: Open (still-growing) resident pages, least-recently-appended
+        #: first -- the force-seal fallback pool.
+        self._open_pages: "OrderedDict" = OrderedDict()
+        self.resident_bytes = 0
+        self.peak_resident_bytes = 0
+        self.spill_count = 0
+        self.fault_count = 0
+
+    # ------------------------------------------------------------- factory
+
+    def make_buffer(self, manager, name: str = ""):
+        """Buffer factory hook for :class:`~repro.engine.buffers.BufferManager`."""
+        from repro.storage.paged_buffer import PagedEventBuffer
+
+        return PagedEventBuffer(manager, self, name=name)
+
+    # ------------------------------------------------------- page protocol
+
+    def open_page(self, page) -> None:
+        """Register a buffer's fresh (growing) tail page.
+
+        Open pages are kept in creation order -- a good-enough coldness
+        proxy for the force-seal fallback that avoids an ordered-dict
+        touch on the per-event hot path.
+        """
+        self._open_pages[page] = None
+
+    # Admission itself (resident += cost, enforce if over budget, sample
+    # the post-eviction peaks) lives inlined in
+    # :meth:`PagedEventBuffer.append` -- the per-event hot path; the
+    # governor provides the colder halves of the protocol below.
+
+    def seal(self, page) -> None:
+        """A page became immutable: it is evictable from now on."""
+        self._open_pages.pop(page, None)
+        self._lru[page] = None
+        self._enforce()
+
+    def read_page(self, page) -> List["object"]:
+        """The events of a page -- resident directly, spilled via a
+        transient decode that does not re-admit the page (reads never grow
+        the resident total, so the budget holds during materialization)."""
+        events = page.events
+        if events is not None:
+            if page in self._lru:
+                self._lru.move_to_end(page)
+            return events
+        payload = self.store.read(page.handle)
+        self.fault_count += 1
+        page.stats.record_page_fault(len(payload))
+        return decode_events(payload)
+
+    def discard(self, page) -> None:
+        """A buffer released this page: drop it from memory and disk."""
+        if page.events is not None:
+            self._lru.pop(page, None)
+            self._open_pages.pop(page, None)
+            self.resident_bytes -= page.cost
+            page.events = None
+        if page.handle is not None:
+            self.store.free(page.handle)
+            page.handle = None
+
+    # ----------------------------------------------------------- eviction
+
+    def _enforce(self) -> None:
+        if self.budget_bytes is None:
+            return
+        while self.resident_bytes > self.budget_bytes:
+            if self._lru:
+                page, _ = self._lru.popitem(last=False)
+            elif self._open_pages:
+                # No sealed victims left: force-seal the coldest open tail
+                # page.  Its buffer starts a fresh tail on the next append.
+                page, _ = self._open_pages.popitem(last=False)
+                page.sealed = True
+            else:
+                break
+            self._evict(page)
+
+    def _evict(self, page) -> None:
+        payload = encode_events(page.events)
+        page.handle = self.store.write(payload)
+        page.events = None
+        self.resident_bytes -= page.cost
+        self.spill_count += 1
+        page.stats.record_spill(page.cost, len(payload))
+
+    # ---------------------------------------------------------- lifecycle
+
+    def close(self) -> None:
+        """Release the spill file.  Idempotent; live pages become unreadable."""
+        self._lru.clear()
+        self._open_pages.clear()
+        self.store.close()
+
+    def __enter__(self) -> "MemoryGovernor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ---------------------------------------------------------- telemetry
+
+    def telemetry(self) -> dict:
+        """Global counters of the whole (possibly multi-query) pass."""
+        return {
+            "budget_bytes": self.budget_bytes,
+            "page_bytes": self.page_bytes,
+            "resident_bytes": self.resident_bytes,
+            "peak_resident_bytes": self.peak_resident_bytes,
+            "spill_count": self.spill_count,
+            "fault_count": self.fault_count,
+            "spilled_bytes_written": self.store.bytes_written,
+            "spilled_bytes_read": self.store.bytes_read,
+            "spill_live_bytes": self.store.live_bytes,
+        }

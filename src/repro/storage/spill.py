@@ -1,0 +1,96 @@
+"""The spill store: a temp-file backed, page-granular byte store.
+
+One :class:`SpillStore` backs one :class:`~repro.storage.governor.MemoryGovernor`
+(and therefore one run, or one shared multi-query pass).  It is append-only:
+evicted pages are written at the current tail and addressed by
+``(offset, length)`` handles.  Sealed pages are immutable, so a page's
+payload never has to be rewritten; freeing a handle only updates the
+free-byte accounting.  The backing file is created lazily on the first
+spill -- a run whose working set fits the budget never touches disk -- and
+is an anonymous ``TemporaryFile``, so the operating system reclaims it even
+on abnormal exit.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class PageHandle:
+    """Address of one spilled page inside the store's backing file."""
+
+    offset: int
+    length: int
+
+
+class SpillStore:
+    """Append-only page store over one anonymous temporary file."""
+
+    def __init__(self, directory: Optional[str] = None):
+        self._directory = directory
+        self._file = None
+        self._tail = 0
+        #: Bytes ever written (monotone; the backing file's size).
+        self.bytes_written = 0
+        #: Bytes ever read back.
+        self.bytes_read = 0
+        #: Bytes belonging to freed handles (dead space in the file).
+        self.bytes_freed = 0
+        self.pages_written = 0
+        self.pages_read = 0
+
+    # ----------------------------------------------------------------- state
+
+    @property
+    def live_bytes(self) -> int:
+        """Bytes of the file still addressed by un-freed handles."""
+        return self.bytes_written - self.bytes_freed
+
+    @property
+    def is_open(self) -> bool:
+        """Whether the backing file exists (false until the first write)."""
+        return self._file is not None
+
+    # ------------------------------------------------------------------- I/O
+
+    def write(self, payload: bytes) -> PageHandle:
+        """Append one page payload; returns its handle."""
+        if self._file is None:
+            self._file = tempfile.TemporaryFile(
+                prefix="repro-spill-", dir=self._directory
+            )
+        handle = PageHandle(self._tail, len(payload))
+        self._file.seek(self._tail)
+        self._file.write(payload)
+        self._tail += len(payload)
+        self.bytes_written += len(payload)
+        self.pages_written += 1
+        return handle
+
+    def read(self, handle: PageHandle) -> bytes:
+        """Read one page payload back."""
+        if self._file is None:
+            raise RuntimeError("spill store has no backing file; nothing was written")
+        self._file.seek(handle.offset)
+        payload = self._file.read(handle.length)
+        if len(payload) != handle.length:
+            raise RuntimeError(
+                f"short read from spill store: wanted {handle.length} bytes "
+                f"at offset {handle.offset}, got {len(payload)}"
+            )
+        self.bytes_read += handle.length
+        self.pages_read += 1
+        return payload
+
+    def free(self, handle: PageHandle) -> None:
+        """Mark a handle's bytes as dead (space accounting only)."""
+        self.bytes_freed += handle.length
+
+    def close(self) -> None:
+        """Close and delete the backing file.  Idempotent."""
+        if self._file is not None:
+            self._file.close()
+            self._file = None

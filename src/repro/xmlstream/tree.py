@@ -152,6 +152,24 @@ def events_to_tree(events: Iterable[Event]) -> Optional[XMLNode]:
     return fragment
 
 
+def events_to_wrapped_tree(events: Iterable[Event], wrapper_name: str) -> XMLNode:
+    """Materialise a buffered forest under a wrapper node.
+
+    The single place the buffer classes share the wrapper/``#fragment``
+    convention: an empty stream yields a bare wrapper, a forest's
+    ``#fragment`` shell is replaced by the wrapper, and a single root is
+    reparented under it.  Both :class:`~repro.engine.buffers.EventBuffer`
+    and the spillable paged buffer delegate here, which is what keeps
+    bounded and unbounded materialization byte-identical.
+    """
+    root = events_to_tree(events)
+    if root is None:
+        return XMLNode(wrapper_name)
+    if root.name == "#fragment":
+        return XMLNode(wrapper_name, list(root.children))
+    return XMLNode(wrapper_name, [root])
+
+
 def tree_to_events(root: XMLNode, *, document_events: bool = False) -> List[Event]:
     """Serialize a tree to a list of events (optionally with document markers)."""
     events: List[Event] = []

@@ -141,6 +141,71 @@ def test_multirun_uniquifies_repeated_query_names(xmark_workspace, capsys):
     assert "Q13#2:" in err
 
 
+def test_multirun_stats_flag_prints_summary_table(xmark_workspace, capsys):
+    code = main(
+        ["multirun", "--query", "Q1", "--query", "Q8", "--discard-output", "--stats",
+         "--document", xmark_workspace["document"]]
+    )
+    assert code == 0
+    err = capsys.readouterr().err
+    assert "peak buffer [B]" in err
+    assert "spills" in err
+    assert "Q8" in err
+
+
+def test_multirun_stats_reports_shared_memory_budget(xmark_workspace, capsys):
+    code = main(
+        ["multirun", "--query", "Q1", "--query", "Q8", "--discard-output", "--stats",
+         "--memory-budget", "2k", "--document", xmark_workspace["document"]]
+    )
+    assert code == 0
+    err = capsys.readouterr().err
+    assert "memory budget: 2048B" in err
+    assert "peak-resident=" in err
+
+
+def test_run_with_memory_budget_output_identical(xmark_workspace, capsys):
+    bounded = xmark_workspace["dir"] / "bounded.xml"
+    unbounded = xmark_workspace["dir"] / "unbounded.xml"
+    for path, extra in ((unbounded, []), (bounded, ["--memory-budget", "2k"])):
+        code = main(
+            ["run", "--query", "Q8", "--document", xmark_workspace["document"],
+             "--output", str(path)] + extra
+        )
+        assert code == 0
+    assert bounded.read_text(encoding="utf-8") == unbounded.read_text(encoding="utf-8")
+    # The bounded run's summary reports the spill activity.
+    err = capsys.readouterr().err
+    assert "spills=" in err
+
+
+def test_multirun_with_memory_budget_files_identical(xmark_workspace, capsys):
+    bounded = xmark_workspace["dir"] / "multi-bounded.xml"
+    unbounded = xmark_workspace["dir"] / "multi-unbounded.xml"
+    base = ["multirun", "--query", "Q8", "--document", xmark_workspace["document"]]
+    assert main(base + ["--output", str(unbounded)]) == 0
+    assert main(base + ["--output", str(bounded), "--memory-budget", "2048"]) == 0
+    assert bounded.read_text(encoding="utf-8") == unbounded.read_text(encoding="utf-8")
+
+
+def test_xmark_command_accepts_memory_budget(capsys):
+    code = main(
+        ["xmark", "--query", "Q8", "--scale", "0.03", "--discard-output",
+         "--memory-budget", "2k"]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "peak-resident=" in out
+    assert "spills=" in out
+
+
+def test_invalid_memory_budget_is_rejected(xmark_workspace, capsys):
+    with pytest.raises(SystemExit):
+        main(["run", "--query", "Q1", "--document", xmark_workspace["document"],
+              "--memory-budget", "lots"])
+    assert "invalid" in capsys.readouterr().err
+
+
 def test_compare_command_reports_agreement(workspace, capsys):
     code = main(
         ["compare", "--query", workspace["query"], "--dtd", workspace["dtd"], "--root", "bib",

@@ -78,6 +78,67 @@ def test_unbalanced_release_cannot_drive_live_buffers_negative():
     assert manager.live_buffers == 0
 
 
+def test_release_after_partial_flush_frees_recorded_totals():
+    """Regression: a buffer whose exposed event list was partially drained
+    (a partial flush) must still free exactly the events/bytes recorded at
+    append time -- a release based on the *current* list length would free
+    mismatched counts and trip the fail-loud guards on the next run."""
+    stats = RunStatistics()
+    manager = BufferManager(stats)
+    buffer = manager.create_buffer("$x")
+    buffer.extend([StartElement("a"), Characters("hello"), EndElement("a")])
+    recorded_events = stats.buffered_events_current
+    recorded_bytes = stats.buffered_bytes_current
+
+    # Simulate a consumer draining part of the exposed list.
+    del buffer.events[:2]
+    assert len(buffer) == 1
+
+    buffer.release()
+    assert recorded_events == 3 and recorded_bytes > 0
+    assert stats.buffered_events_current == 0
+    assert stats.buffered_bytes_current == 0
+    assert stats.resident_bytes_current == 0
+    assert manager.live_buffers == 0
+
+
+def test_release_after_full_external_drain_is_balanced():
+    """Extreme partial flush: the whole list drained externally."""
+    stats = RunStatistics()
+    manager = BufferManager(stats)
+    buffer = manager.create_buffer()
+    buffer.extend([StartElement("a"), EndElement("a")])
+    buffer.events.clear()
+    buffer.release()
+    assert stats.buffered_events_current == 0
+    assert stats.buffered_bytes_current == 0
+    assert manager.live_buffers == 0
+
+
+def test_freeing_more_resident_than_recorded_is_rejected():
+    """The fail-loud guards extend to the resident ledger."""
+    stats = RunStatistics()
+    stats.record_buffered(2, 20)
+    with pytest.raises(RuntimeError, match="resident"):
+        stats.record_freed(2, 20, resident=21)
+    with pytest.raises(RuntimeError, match="resident"):
+        stats.record_spill(21, 10)
+    stats.record_freed(2, 20, resident=20)
+    assert stats.resident_bytes_current == 0
+
+
+def test_resident_tracks_buffered_without_a_governor():
+    stats = RunStatistics()
+    manager = BufferManager(stats)
+    buffer = manager.create_buffer()
+    buffer.extend([StartElement("a"), Characters("xy"), EndElement("a")])
+    assert stats.resident_bytes_current == stats.buffered_bytes_current
+    assert stats.peak_resident_bytes == stats.peak_buffered_bytes
+    buffer.release()
+    assert stats.resident_bytes_current == 0
+    assert stats.peak_resident_bytes == stats.peak_buffered_bytes
+
+
 def test_freeing_more_than_buffered_is_rejected():
     stats = RunStatistics()
     stats.record_buffered(2, 20)

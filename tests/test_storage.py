@@ -1,0 +1,406 @@
+"""Tests for the bounded-memory storage subsystem.
+
+Covers the codec, the spill store, the governor's budget/LRU mechanics,
+the paged buffer's :class:`EventBuffer` equivalence, and the end-to-end
+guarantee: with a budget below the unbounded peak, XMark runs spill,
+resident memory stays capped, and output is byte-identical to in-memory
+execution in every sink mode.
+"""
+
+import io
+
+import pytest
+
+from repro import FluxEngine, MultiQueryEngine, QueryRegistry, load_dtd
+from repro.engine.buffers import BufferManager, EventBuffer
+from repro.engine.stats import RunStatistics
+from repro.storage import (
+    MemoryGovernor,
+    PagedEventBuffer,
+    SpillStore,
+    decode_events,
+    encode_events,
+    parse_memory_budget,
+)
+from repro.xmark.dtd import XMARK_DTD_SOURCE
+from repro.xmark.generator import config_for_scale, generate_document
+from repro.xmark.queries import BENCHMARK_QUERIES
+from repro.xmlstream.events import Characters, EndElement, StartDocument, StartElement
+
+
+# ---------------------------------------------------------------------------
+# Codec
+
+
+def test_codec_roundtrip_all_event_kinds():
+    events = [
+        StartElement("site"),
+        StartElement("item", (("id", "i1"), ("featured", "yes"))),
+        Characters("hello, world"),
+        Characters(""),
+        EndElement("item"),
+        StartElement("名前", (("ключ", "значение"),)),
+        Characters("mixed ☃ unicode & <escapes>"),
+        EndElement("名前"),
+        EndElement("site"),
+    ]
+    assert decode_events(encode_events(events)) == events
+
+
+def test_codec_roundtrip_preserves_attribute_order():
+    event = StartElement("a", (("z", "1"), ("a", "2")))
+    (decoded,) = decode_events(encode_events([event]))
+    assert decoded.attributes == (("z", "1"), ("a", "2"))
+
+
+def test_codec_long_text_uses_varint_lengths():
+    text = "x" * 70000  # needs a multi-byte varint
+    assert decode_events(encode_events([Characters(text)])) == [Characters(text)]
+
+
+def test_codec_rejects_document_events():
+    with pytest.raises(TypeError, match="cannot be spilled"):
+        encode_events([StartDocument()])
+
+
+def test_codec_rejects_corrupt_payload():
+    with pytest.raises(ValueError, match="unknown record kind"):
+        decode_events(b"\xff")
+
+
+# ---------------------------------------------------------------------------
+# Spill store
+
+
+def test_spill_store_roundtrip_and_accounting():
+    store = SpillStore()
+    assert not store.is_open
+    first = store.write(b"abcdef")
+    second = store.write(b"0123456789")
+    assert store.is_open
+    assert store.read(second) == b"0123456789"
+    assert store.read(first) == b"abcdef"
+    assert store.bytes_written == 16
+    assert store.bytes_read == 16
+    assert store.pages_written == 2
+    store.free(first)
+    assert store.live_bytes == 10
+    store.close()
+    store.close()  # idempotent
+
+
+def test_spill_store_read_before_write_fails():
+    store = SpillStore()
+    from repro.storage import PageHandle
+
+    with pytest.raises(RuntimeError, match="no backing file"):
+        store.read(PageHandle(0, 4))
+
+
+# ---------------------------------------------------------------------------
+# Budget parsing
+
+
+@pytest.mark.parametrize(
+    "text,expected",
+    [
+        ("1048576", 1048576),
+        ("64k", 64 * 1024),
+        ("64K", 64 * 1024),
+        ("32m", 32 * 1024**2),
+        ("2g", 2 * 1024**3),
+        ("1.5k", 1536),
+    ],
+)
+def test_parse_memory_budget_accepts_suffixes(text, expected):
+    assert parse_memory_budget(text) == expected
+
+
+@pytest.mark.parametrize("text", ["", "lots", "-4k", "0", "inf", "1e999", "nan"])
+def test_parse_memory_budget_rejects_garbage(text):
+    with pytest.raises(ValueError):
+        parse_memory_budget(text)
+
+
+# ---------------------------------------------------------------------------
+# Paged buffer vs plain buffer equivalence
+
+
+def _sample_events(count=40):
+    events = []
+    for index in range(count):
+        events.append(StartElement("item", (("id", f"i{index}"),)))
+        events.append(Characters(f"value-{index} " * 3))
+        events.append(EndElement("item"))
+    return events
+
+
+def _paged_manager(budget=None, page_bytes=64):
+    governor = MemoryGovernor(budget, page_bytes=page_bytes)
+    stats = RunStatistics()
+    manager = BufferManager(stats, factory=governor.make_buffer)
+    return governor, stats, manager
+
+
+def test_factory_swaps_buffer_class():
+    governor, _, manager = _paged_manager()
+    buffer = manager.create_buffer("$x")
+    assert isinstance(buffer, PagedEventBuffer)
+    assert isinstance(BufferManager().create_buffer("$x"), EventBuffer)
+    governor.close()
+
+
+def test_paged_buffer_matches_plain_buffer_unbounded():
+    events = _sample_events()
+    plain_stats = RunStatistics()
+    plain = BufferManager(plain_stats).create_buffer("$x")
+    plain.extend(events)
+
+    governor, paged_stats, manager = _paged_manager()
+    paged = manager.create_buffer("$x")
+    paged.extend(events)
+
+    assert len(paged) == len(plain)
+    assert list(paged) == list(plain)
+    assert paged.events == plain.events
+    assert paged.cost_bytes == plain.cost_bytes
+    assert paged_stats.peak_buffered_bytes == plain_stats.peak_buffered_bytes
+    assert paged_stats.peak_buffered_events == plain_stats.peak_buffered_events
+    assert paged_stats.peak_resident_bytes == plain_stats.peak_resident_bytes
+    governor.close()
+
+
+def test_paged_buffer_materialization_matches_plain():
+    events = _sample_events(10)
+    plain = BufferManager().create_buffer()
+    plain.extend(events)
+    governor, _, manager = _paged_manager(budget=128, page_bytes=64)
+    paged = manager.create_buffer()
+    paged.extend(events)
+    assert paged.spilled_pages > 0  # the comparison crosses the disk boundary
+
+    plain_tree = plain.to_tree("wrapper")
+    paged_tree = paged.to_tree("wrapper")
+    assert plain_tree.to_events() == paged_tree.to_events()
+    assert plain.to_single_node().to_events() == paged.to_single_node().to_events()
+    governor.close()
+
+
+def test_append_after_release_is_rejected_for_paged_buffer():
+    governor, _, manager = _paged_manager()
+    buffer = manager.create_buffer("$x")
+    buffer.release()
+    with pytest.raises(RuntimeError, match="already released"):
+        buffer.append(StartElement("a"))
+    governor.close()
+
+
+# ---------------------------------------------------------------------------
+# Governor mechanics
+
+
+def test_budget_forces_spills_and_caps_residency():
+    events = _sample_events()
+    governor, stats, manager = _paged_manager(budget=256, page_bytes=64)
+    buffer = manager.create_buffer("$x")
+    buffer.extend(events)
+
+    assert stats.spill_count > 0
+    assert stats.peak_resident_bytes <= 256
+    assert governor.peak_resident_bytes <= 256
+    assert buffer.resident_bytes <= 256
+    assert buffer.cost_bytes > 256  # the logical contents exceed the budget
+    # Logical accounting is untouched by spilling.
+    assert stats.buffered_bytes_current == buffer.cost_bytes
+    # Contents are intact across the spill boundary.
+    assert list(buffer) == events
+    governor.close()
+
+
+def test_lru_evicts_coldest_buffer_first():
+    governor, _, manager = _paged_manager(budget=10_000, page_bytes=64)
+    cold = manager.create_buffer("$cold")
+    cold.extend(_sample_events(10))
+    hot = manager.create_buffer("$hot")
+    hot.extend(_sample_events(10))
+    assert cold.spilled_pages == 0 and hot.spilled_pages == 0
+
+    # Shrink the budget indirectly: fill a third buffer until eviction.
+    governor.budget_bytes = governor.resident_bytes  # next append must evict
+    filler = manager.create_buffer("$filler")
+    filler.extend(_sample_events(4))
+
+    # The buffers that have not been touched longest lose pages first.
+    assert cold.spilled_pages > 0
+    assert cold.spilled_pages >= hot.spilled_pages
+    governor.close()
+
+
+def test_reading_spilled_pages_does_not_grow_residency():
+    governor, stats, manager = _paged_manager(budget=256, page_bytes=64)
+    buffer = manager.create_buffer("$x")
+    buffer.extend(_sample_events())
+    resident_before = governor.resident_bytes
+    faults_before = stats.page_faults
+
+    assert list(buffer)  # full scan decodes every spilled page
+    assert governor.resident_bytes == resident_before
+    assert stats.page_faults > faults_before
+    assert stats.spilled_bytes_read > 0
+    governor.close()
+
+
+def test_release_with_spilled_pages_frees_full_logical_totals():
+    governor, stats, manager = _paged_manager(budget=256, page_bytes=64)
+    buffer = manager.create_buffer("$x")
+    buffer.extend(_sample_events())
+    assert buffer.spilled_pages > 0
+
+    buffer.release()
+    assert stats.buffered_events_current == 0
+    assert stats.buffered_bytes_current == 0
+    assert stats.resident_bytes_current == 0
+    assert governor.resident_bytes == 0
+    assert governor.store.live_bytes == 0
+    assert manager.live_buffers == 0
+    buffer.release()  # idempotent
+    assert manager.live_buffers == 0
+    governor.close()
+
+
+def test_force_seal_handles_budget_smaller_than_a_page():
+    events = _sample_events(20)
+    governor, stats, manager = _paged_manager(budget=32, page_bytes=4096)
+    buffer = manager.create_buffer("$x")
+    buffer.extend(events)
+    # Even open tail pages are evicted once sealed victims run out.
+    assert stats.peak_resident_bytes <= 32
+    assert stats.spill_count > 0
+    assert list(buffer) == events
+    governor.close()
+
+
+def test_one_governor_shared_by_two_managers():
+    governor = MemoryGovernor(256, page_bytes=64)
+    stats_a, stats_b = RunStatistics(), RunStatistics()
+    buffer_a = BufferManager(stats_a, factory=governor.make_buffer).create_buffer("$a")
+    buffer_b = BufferManager(stats_b, factory=governor.make_buffer).create_buffer("$b")
+    buffer_a.extend(_sample_events(20))
+    buffer_b.extend(_sample_events(20))
+
+    # The budget caps the *sum*; spills are attributed per-run.
+    assert governor.peak_resident_bytes <= 256
+    assert stats_a.resident_bytes_current + stats_b.resident_bytes_current <= 256
+    assert governor.spill_count == stats_a.spill_count + stats_b.spill_count
+    assert stats_a.spill_count > 0  # the colder of the two lost pages
+    telemetry = governor.telemetry()
+    assert telemetry["budget_bytes"] == 256
+    assert telemetry["spill_count"] == governor.spill_count
+    governor.close()
+
+
+def test_governor_rejects_nonpositive_budget():
+    with pytest.raises(ValueError):
+        MemoryGovernor(0)
+    with pytest.raises(ValueError):
+        MemoryGovernor(-1)
+
+
+# ---------------------------------------------------------------------------
+# End-to-end: spill-vs-in-memory byte-identical output, all sink modes
+
+
+@pytest.fixture(scope="module")
+def xmark_setup():
+    dtd = load_dtd(XMARK_DTD_SOURCE, root_element="site")
+    document = generate_document(config_for_scale(0.05, seed=23))
+    return dtd, document
+
+
+@pytest.mark.parametrize("query", ["Q1", "Q8", "Q13"])
+def test_bounded_output_identical_across_all_sink_modes(xmark_setup, query):
+    dtd, document = xmark_setup
+    unbounded = FluxEngine(BENCHMARK_QUERIES[query], dtd).run(document)
+    peak = unbounded.stats.peak_buffered_bytes
+    budget = max(peak // 2, 1024)
+
+    engine = FluxEngine(
+        BENCHMARK_QUERIES[query], dtd, memory_budget=budget, memory_page_bytes=128
+    )
+
+    collected = engine.run(document)
+    assert collected.output == unbounded.output
+    assert collected.stats.peak_resident_bytes <= budget
+
+    sink = io.StringIO()
+    to_sink = engine.run_to_sink(document, sink)
+    assert sink.getvalue() == unbounded.output
+    assert to_sink.stats.peak_resident_bytes <= budget
+
+    streaming = engine.run_streaming(document)
+    assert "".join(streaming) == unbounded.output
+    assert streaming.stats.peak_resident_bytes <= budget
+
+    if budget < peak:
+        # The cap binds (Q8's join buffers): every mode must have spilled.
+        for stats in (collected.stats, to_sink.stats, streaming.stats):
+            assert stats.spill_count > 0
+
+    # The logical (paper) peak is identical to the unbounded run.
+    assert collected.stats.peak_buffered_bytes == peak
+
+
+def test_bounded_q8_actually_spills(xmark_setup):
+    """Guard the guard: Q8's budget really is below its unbounded peak."""
+    dtd, document = xmark_setup
+    unbounded = FluxEngine(BENCHMARK_QUERIES["Q8"], dtd).run(document)
+    assert unbounded.stats.peak_buffered_bytes // 2 > 1024
+
+
+def test_multiquery_shared_budget_outputs_identical(xmark_setup):
+    dtd, document = xmark_setup
+    registry = QueryRegistry(dtd)
+    for name in ("Q1", "Q8", "Q13"):
+        registry.register(name, BENCHMARK_QUERIES[name])
+    solo = {entry.name: entry.engine.run(document).output for entry in registry}
+
+    peak = FluxEngine(BENCHMARK_QUERIES["Q8"], dtd).run(document).stats.peak_buffered_bytes
+    budget = max(peak // 2, 1024)
+    engine = MultiQueryEngine(registry, memory_budget=budget, memory_page_bytes=128)
+    run = engine.run(document)
+
+    for name, output in solo.items():
+        assert run[name].output == output, name
+    assert run.memory is not None
+    assert run.memory["peak_resident_bytes"] <= budget
+    assert run.memory["spill_count"] > 0
+    # Spills land on the query that buffers (Q8), not the zero-buffer ones.
+    assert run["Q8"].stats.spill_count > 0
+    assert run["Q1"].stats.spill_count == 0
+    assert run["Q13"].stats.spill_count == 0
+
+
+def test_multiquery_shared_budget_to_sinks_identical(xmark_setup):
+    dtd, document = xmark_setup
+    registry = QueryRegistry(dtd)
+    for name in ("Q1", "Q8"):
+        registry.register(name, BENCHMARK_QUERIES[name])
+    solo = {entry.name: entry.engine.run(document).output for entry in registry}
+
+    engine = MultiQueryEngine(registry, memory_budget=2048, memory_page_bytes=128)
+    sinks = {name: io.StringIO() for name in ("Q1", "Q8")}
+    run = engine.run_to_sinks(document, sinks)
+    for name, output in solo.items():
+        assert sinks[name].getvalue() == output, name
+    assert run.memory["peak_resident_bytes"] <= 2048
+
+
+def test_streaming_run_closes_governor_when_abandoned(xmark_setup):
+    dtd, document = xmark_setup
+    engine = FluxEngine(
+        BENCHMARK_QUERIES["Q8"], dtd, memory_budget=2048, memory_page_bytes=128
+    )
+    streaming = engine.run_streaming(document)
+    iterator = iter(streaming)
+    next(iterator)  # start the run, then abandon it
+    iterator.close()  # generator finalization must close the spill store
