@@ -1,0 +1,49 @@
+"""Conformance-harness throughput: cases checked per second.
+
+The fuzzing sweep is only useful as a standing harness if a meaningful
+number of cases fits in a CI smoke budget, so this bench tracks how fast
+the whole generate -> differential-oracle pipeline runs and what one sweep
+actually covers (buffered cases, forced spills, queries checked).  Rows
+land in ``BENCH_fuzz.json`` for the perf trajectory.
+
+The sweep itself must be green: a correctness failure here is a real
+engine divergence, not a benchmark artifact.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.conformance import fuzz
+
+from _workload import record_row
+
+#: Cases per timed sweep; override for quick local runs.
+_CASES = int(os.environ.get("REPRO_FUZZ_BENCH_CASES", "100"))
+_SEED = 1
+
+
+def test_fuzz_sweep_throughput(benchmark):
+    report = benchmark.pedantic(lambda: fuzz(_SEED, _CASES, shrink=False), rounds=1, iterations=1)
+    assert report.ok, [failure.summary() for failure in report.failures]
+    assert report.cases_run == _CASES
+    # The sweep must exercise the interesting legs, not just streamable
+    # no-op cases: a fifth of the cases buffering is a loose floor.
+    assert report.cases_buffered >= _CASES // 5
+    assert report.cases_spilled > 0
+
+    cases_per_second = report.cases_run / report.elapsed_seconds
+    record_row(
+        benchmark,
+        table="fuzz",
+        seed=_SEED,
+        cases=report.cases_run,
+        queries=report.queries_checked,
+        cases_buffered=report.cases_buffered,
+        cases_spilled=report.cases_spilled,
+        seconds=report.elapsed_seconds,
+        cases_per_second=round(cases_per_second, 1),
+    )
+    # The acceptance bar is 200 cases in under 120 s; a healthy margin here
+    # keeps the nightly smoke job comfortably inside its budget.
+    assert cases_per_second > 200 / 120.0

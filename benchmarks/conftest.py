@@ -81,6 +81,19 @@ def pytest_terminal_summary(terminalreporter, exitstatus, config):
                 f"{row['budget_bytes']:>11} {row['peak_resident_bytes']:>13} "
                 f"{row['spill_count']:>7} {row['seconds']:>9.3f} {row['unbounded_seconds']:>14.3f}"
             )
+    fuzz_rows = [row for row in COLLECTED_ROWS if row.get("table") == "fuzz"]
+    if fuzz_rows:
+        terminalreporter.write_sep("=", "Conformance fuzzing throughput (differential oracle)")
+        terminalreporter.write_line(
+            f"{'seed':>5} {'cases':>6} {'queries':>8} {'buffered':>9} "
+            f"{'spilled':>8} {'time [s]':>9} {'cases/s':>8}"
+        )
+        for row in fuzz_rows:
+            terminalreporter.write_line(
+                f"{row['seed']:>5} {row['cases']:>6} {row['queries']:>8} "
+                f"{row['cases_buffered']:>9} {row['cases_spilled']:>8} "
+                f"{row['seconds']:>9.2f} {row['cases_per_second']:>8.1f}"
+            )
     if COLLECTED_ROWS:
         for path in write_json_reports():
             terminalreporter.write_line(f"machine-readable report: {path}")

@@ -20,6 +20,10 @@ buffering.  This package reimplements the complete system:
 * :mod:`repro.storage` -- bounded-memory execution: a memory governor with
   a hard byte budget, spillable paged buffers and a temp-file spill store,
 * :mod:`repro.baselines` -- full-materialisation and projection baselines,
+* :mod:`repro.conformance` -- randomized conformance testing: a seeded
+  DTD-directed case generator, a cross-engine differential oracle, a
+  failing-case shrinker and the replayable ``.case`` format behind the
+  ``repro fuzz`` CLI,
 * :mod:`repro.xmark` -- XMark-like workload generator and benchmark queries,
 * :mod:`repro.core` -- the public API (start here).
 

@@ -10,12 +10,20 @@ from repro.xmlstream.tree import XMLNode
 
 @dataclass
 class BaselineResult:
-    """Result of running a baseline engine."""
+    """Result of running a baseline engine.
+
+    ``output_bytes`` is populated even when the caller discards the output
+    text (``collect_output=False``): differential harnesses compare output
+    statistics across engines without holding N result strings alive.  The
+    count uses ``len(output)`` -- the same unit the streaming engine's
+    :class:`~repro.engine.stats.RunStatistics.output_bytes` reports.
+    """
 
     output: Optional[str]
     peak_buffered_events: int
     peak_buffered_bytes: int
     elapsed_seconds: float
+    output_bytes: int = 0
 
     @property
     def peak_memory_bytes(self) -> int:

@@ -31,19 +31,13 @@ class NaiveDomEngine:
         """Run the query over ``document`` (text, path, file object, chunks)."""
         started = time.perf_counter()
         root = parse_tree(document)
-        events, cost = tree_cost(root)
-        output = evaluate_to_string(self.query, root)
-        elapsed = time.perf_counter() - started
-        return BaselineResult(
-            output=output if collect_output else None,
-            peak_buffered_events=events,
-            peak_buffered_bytes=cost,
-            elapsed_seconds=elapsed,
-        )
+        return self._finish(root, collect_output, started)
 
     def run_tree(self, root: XMLNode, *, collect_output: bool = True) -> BaselineResult:
         """Run over an already-materialised tree (useful in micro-benchmarks)."""
-        started = time.perf_counter()
+        return self._finish(root, collect_output, time.perf_counter())
+
+    def _finish(self, root: XMLNode, collect_output: bool, started: float) -> BaselineResult:
         events, cost = tree_cost(root)
         output = evaluate_to_string(self.query, root)
         elapsed = time.perf_counter() - started
@@ -52,4 +46,6 @@ class NaiveDomEngine:
             peak_buffered_events=events,
             peak_buffered_bytes=cost,
             elapsed_seconds=elapsed,
+            # Output statistics survive even when the text is discarded.
+            output_bytes=len(output),
         )

@@ -158,4 +158,5 @@ class ProjectionDomEngine:
             peak_buffered_events=events_cost,
             peak_buffered_bytes=bytes_cost,
             elapsed_seconds=elapsed,
+            output_bytes=len(output),
         )

@@ -10,6 +10,8 @@ Python code::
     python -m repro validate --dtd bib.dtd --root bib --document doc.xml
     python -m repro generate --scale 0.2 --output xmark.xml
     python -m repro xmark    --query Q13 --scale 0.1
+    python -m repro fuzz     --seed 1 --cases 200
+    python -m repro fuzz     --replay fuzz-failures/seed1-case23.case
 
 ``compile`` prints the scheduled FluX query and the buffer trees; ``run``
 executes a query and reports the output (optionally to a file) together with
@@ -23,6 +25,12 @@ FluX engine and both baselines; ``generate`` produces XMark-like documents;
 suffixes allowed): resident buffered memory is then hard-capped and cold
 buffer pages spill to a temp file, with output byte-identical to the
 unbounded run.
+
+``fuzz`` drives the randomized conformance harness
+(:mod:`repro.conformance`): ``--seed``/``--cases`` sweep generated
+(DTD, document, queries) triples through every engine and sink mode,
+failing cases are shrunk and saved as replayable ``.case`` files, and
+``--replay FILE`` re-checks one such file.
 """
 
 from __future__ import annotations
@@ -284,6 +292,50 @@ def _cmd_xmark(args) -> int:
     return 0
 
 
+def _cmd_fuzz(args) -> int:
+    from repro.conformance import ConformanceFailure, fuzz, replay
+
+    if args.replay:
+        failures = 0
+        for path in args.replay:
+            try:
+                report = replay(path)
+            except ConformanceFailure as failure:
+                failures += 1
+                print(f"{path}: FAIL")
+                for divergence in failure.divergences:
+                    print(f"  - {divergence}")
+            else:
+                facts = []
+                if report.buffered:
+                    facts.append("buffered")
+                if report.forced_spills:
+                    facts.append("forced spills")
+                print(f"{path}: PASS ({', '.join(facts) if facts else 'streaming-only'})")
+        return 1 if failures else 0
+
+    def progress(index, case_report):
+        if args.verbose:
+            verdict = "ok" if case_report.passed else "FAIL"
+            print(f"case {index}: {verdict} ({case_report.case.describe()})", file=sys.stderr)
+
+    report = fuzz(
+        args.seed,
+        args.cases,
+        start=args.start,
+        save_dir=args.save_dir,
+        max_queries=args.max_queries,
+        shrink=not args.no_shrink,
+        on_case=progress,
+    )
+    print(report.summary())
+    for failure in report.failures:
+        print(failure.summary())
+        for divergence in failure.divergences[:5]:
+            print(f"  - {divergence}")
+    return 0 if report.ok else 1
+
+
 # ---------------------------------------------------------------------------
 # Argument parsing
 
@@ -380,6 +432,33 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_memory_budget_argument(xmark_parser)
     xmark_parser.set_defaults(handler=_cmd_xmark)
+
+    fuzz_parser = subparsers.add_parser(
+        "fuzz",
+        help="randomized conformance sweep: every engine and sink mode must agree byte-for-byte",
+    )
+    fuzz_parser.add_argument("--seed", type=int, default=1, help="generator seed (the sweep is deterministic per seed)")
+    fuzz_parser.add_argument("--cases", type=int, default=100, help="number of generated cases to check")
+    fuzz_parser.add_argument("--start", type=int, default=0, help="first case index (resume a sweep)")
+    fuzz_parser.add_argument(
+        "--save-dir",
+        default="fuzz-failures",
+        help="directory for shrunk failing .case files (created on demand)",
+    )
+    fuzz_parser.add_argument(
+        "--max-queries", type=int, default=3, help="maximum queries per generated case"
+    )
+    fuzz_parser.add_argument(
+        "--no-shrink", action="store_true", help="save failing cases unshrunk (faster triage loop)"
+    )
+    fuzz_parser.add_argument("--verbose", action="store_true", help="per-case progress on stderr")
+    fuzz_parser.add_argument(
+        "--replay",
+        action="append",
+        metavar="FILE",
+        help="replay saved .case files through the oracle instead of generating (repeatable)",
+    )
+    fuzz_parser.set_defaults(handler=_cmd_fuzz)
 
     return parser
 

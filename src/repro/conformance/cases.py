@@ -1,0 +1,166 @@
+"""The conformance *case*: one (DTD, document, queries) triple on disk.
+
+A case is the unit the fuzzer generates, the oracle checks and the shrinker
+minimizes.  Failing cases are persisted as ``.case`` files so a divergence
+found by a nightly run can be replayed (``repro fuzz --replay FILE``) and
+turned into a fixture under ``tests/`` once fixed.
+
+The file format is deliberately trivial and unambiguous: a header line, one
+``meta`` line of ``key=value`` pairs, then length-prefixed sections::
+
+    # repro fuzz case v1
+    meta seed=1 index=7 root=e0 expand_attrs=1
+    section dtd lines=4
+    <!ELEMENT e0 (t0,e1*)>
+    ...
+    section document lines=1
+    <e0>...</e0>
+    section query:q0 lines=3
+    <out>
+    { for $v0 in $ROOT/e0/e1 return { $v0/t1 } }
+    </out>
+
+Every section announces its exact line count, so dtd/document/query payloads
+never need escaping -- a payload line that happens to look like a header is
+still just a payload line.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Tuple
+
+_HEADER = "# repro fuzz case v1"
+
+
+@dataclass(frozen=True)
+class Case:
+    """One generated conformance case.
+
+    ``seed``/``index`` record provenance (which generator stream produced
+    it); after shrinking they still point at the original case.  ``queries``
+    maps stable names (``q0``, ``q1``, ...) to XQuery⁻ source text.
+    ``expand_attrs`` is set by the generator whenever the document carries
+    attributes: the whole oracle run then applies the paper's
+    attribute-to-subelement expansion, under which the generated DTD is the
+    schema the expanded document conforms to.
+    """
+
+    seed: int
+    index: int
+    root: str
+    dtd_source: str
+    document: str
+    queries: Tuple[Tuple[str, str], ...]
+    expand_attrs: bool = False
+
+    @property
+    def query_map(self) -> Dict[str, str]:
+        """The queries as an ordered name -> source mapping."""
+        return dict(self.queries)
+
+    def with_document(self, document: str) -> "Case":
+        """A copy of this case over a different document text."""
+        return replace(self, document=document)
+
+    def with_queries(self, queries: Dict[str, str]) -> "Case":
+        """A copy of this case with a reduced/changed query set."""
+        return replace(self, queries=tuple(queries.items()))
+
+    def describe(self) -> str:
+        """One-line summary used by the CLI and failure reports."""
+        return (
+            f"case seed={self.seed} index={self.index} root={self.root} "
+            f"document={len(self.document)}B queries={len(self.queries)}"
+            + (" expand-attrs" if self.expand_attrs else "")
+        )
+
+
+def dump_case(case: Case) -> str:
+    """Render a case in the ``.case`` file format."""
+    lines: List[str] = [_HEADER]
+    lines.append(
+        f"meta seed={case.seed} index={case.index} root={case.root} "
+        f"expand_attrs={int(case.expand_attrs)}"
+    )
+    for name, payload in (
+        ("dtd", case.dtd_source),
+        ("document", case.document),
+    ):
+        lines.extend(_section(name, payload))
+    for name, source in case.queries:
+        lines.extend(_section(f"query:{name}", source))
+    return "\n".join(lines) + "\n"
+
+
+def _section(name: str, payload: str) -> List[str]:
+    payload_lines = payload.split("\n")
+    return [f"section {name} lines={len(payload_lines)}"] + payload_lines
+
+
+def parse_case(text: str) -> Case:
+    """Parse ``.case`` file text back into a :class:`Case`."""
+    lines = text.split("\n")
+    if not lines or lines[0].strip() != _HEADER:
+        raise ValueError(f"not a repro fuzz case file (expected {_HEADER!r} header)")
+    if len(lines) < 2 or not lines[1].startswith("meta "):
+        raise ValueError("case file is missing the 'meta' line")
+    meta: Dict[str, str] = {}
+    for pair in lines[1][len("meta ") :].split():
+        key, _, value = pair.partition("=")
+        meta[key] = value
+    for required in ("seed", "index", "root"):
+        if required not in meta:
+            raise ValueError(f"case meta line is missing {required!r}")
+
+    sections: List[Tuple[str, str]] = []
+    position = 2
+    while position < len(lines):
+        line = lines[position]
+        if not line.strip():
+            position += 1
+            continue
+        if not line.startswith("section "):
+            raise ValueError(f"expected a section header at line {position + 1}, got {line!r}")
+        try:
+            _, name, length_field = line.split()
+            count = int(length_field.removeprefix("lines="))
+        except ValueError as exc:
+            raise ValueError(f"malformed section header {line!r}") from exc
+        payload = lines[position + 1 : position + 1 + count]
+        if len(payload) != count:
+            raise ValueError(f"section {name!r} announces {count} lines but the file ends early")
+        sections.append((name, "\n".join(payload)))
+        position += 1 + count
+
+    payloads = dict(sections)
+    if "dtd" not in payloads or "document" not in payloads:
+        raise ValueError("case file must contain 'dtd' and 'document' sections")
+    queries = tuple(
+        (name.removeprefix("query:"), payload)
+        for name, payload in sections
+        if name.startswith("query:")
+    )
+    if not queries:
+        raise ValueError("case file contains no query sections")
+    return Case(
+        seed=int(meta["seed"]),
+        index=int(meta["index"]),
+        root=meta["root"],
+        dtd_source=payloads["dtd"],
+        document=payloads["document"],
+        queries=queries,
+        expand_attrs=meta.get("expand_attrs", "0") == "1",
+    )
+
+
+def save_case(path, case: Case) -> None:
+    """Write a case to ``path`` in the ``.case`` format."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(dump_case(case))
+
+
+def load_case(path) -> Case:
+    """Read a ``.case`` file from ``path``."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return parse_case(handle.read())

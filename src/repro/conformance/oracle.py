@@ -1,0 +1,409 @@
+"""The differential oracle: every engine, every sink mode, one verdict.
+
+For each case the oracle runs the same (document, query) pair through every
+execution path the repo has grown:
+
+* the **naive baseline** (full materialisation + reference semantics) --
+  this is the reference output,
+* the **projection baseline** (path-projected materialisation),
+* the **FluX engine** in all three sink modes (``run``, ``run_streaming``,
+  ``run_to_sink``) plus a ``collect_output=False`` run for the stats-only
+  path,
+* the **multi-query engine** (all of the case's queries in one shared
+  pass),
+* a **bounded-memory** run with a budget of half the query's unbounded
+  buffer peak -- small enough that any query that buffers at all is forced
+  to spill -- plus a bounded multi-query pass sharing one governor.
+
+Byte-identity across all of them is the FluX guarantee (Proposition 3.2 /
+Theorem 4.3) the paper's correctness story rests on.  On top of identity
+the oracle asserts the runtime invariants that PRs 1-3 promised:
+
+* balanced buffer accounting -- after every run the ``buffered`` /
+  ``resident`` *current* counters are back to zero,
+* ``peak_resident_bytes <= budget`` for every bounded run,
+* the *logical* ``peak_buffered_bytes`` is identical across memory
+  configurations (spilling must not change what the paper's figures
+  report),
+* multi-query per-query peaks equal the solo peaks (PR 2's parity claim).
+
+A violation raises :class:`ConformanceFailure` carrying structured
+:class:`Divergence` records; a pass returns a :class:`CaseReport` with the
+case's coverage facts (did it buffer, did it spill, output size).
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.baselines import NaiveDomEngine, ProjectionDomEngine
+from repro.conformance.cases import Case
+from repro.core.api import load_dtd, run_queries
+from repro.dtd.validator import validate_document
+from repro.engine.engine import FluxEngine
+from repro.engine.stats import RunStatistics
+from repro.xmlstream.parser import iter_events, parse_tree
+
+#: Bounded runs never get a budget below this many bytes; the governor
+#: tolerates tiny budgets (it force-seals open tails), this floor only keeps
+#: page bookkeeping from dominating the oracle's runtime.
+MIN_BUDGET_BYTES = 32
+
+
+@dataclass(frozen=True)
+class Divergence:
+    """One violated expectation of a case run."""
+
+    query: str
+    kind: str
+    detail: str
+
+    def __str__(self) -> str:
+        return f"[{self.query} :: {self.kind}] {self.detail}"
+
+
+class ConformanceFailure(AssertionError):
+    """Raised when a case violates byte-identity or a runtime invariant."""
+
+    def __init__(self, case: Case, divergences: List[Divergence]):
+        self.case = case
+        self.divergences = list(divergences)
+        summary = "; ".join(str(item) for item in self.divergences[:4])
+        if len(self.divergences) > 4:
+            summary += f"; ... ({len(self.divergences)} total)"
+        super().__init__(f"{case.describe()}: {summary}")
+
+
+@dataclass
+class CaseReport:
+    """Coverage facts of one green case (what the sweep actually exercised)."""
+
+    case: Case
+    output_bytes: int = 0
+    peak_buffered_bytes: int = 0
+    buffered: bool = False
+    forced_spills: bool = False
+    divergences: List[Divergence] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return not self.divergences
+
+
+class Oracle:
+    """Checks cases; stateless apart from configuration.
+
+    ``check`` raises :class:`ConformanceFailure` on the first failing case;
+    ``examine`` returns the :class:`CaseReport` with divergences collected
+    instead (the shrinker's predicate uses this non-raising form).
+    """
+
+    def __init__(self, *, min_budget_bytes: int = MIN_BUDGET_BYTES, validate: bool = True):
+        self.min_budget_bytes = min_budget_bytes
+        self.validate = validate
+
+    # ------------------------------------------------------------------- API
+
+    def check(self, case: Case) -> CaseReport:
+        """Run the full differential sweep; raise on any divergence."""
+        report = self.examine(case)
+        if not report.passed:
+            raise ConformanceFailure(case, report.divergences)
+        return report
+
+    def examine(self, case: Case) -> CaseReport:
+        """Like :meth:`check` but collects divergences instead of raising."""
+        report = CaseReport(case)
+        record = report.divergences.append
+        try:
+            schema = load_dtd(case.dtd_source, root_element=case.root)
+        except Exception as exc:  # noqa: BLE001 - a bad DTD is a finding, not a crash
+            record(Divergence("-", "dtd", f"DTD failed to load: {exc!r}"))
+            return report
+
+        if self.validate:
+            try:
+                validation = validate_document(
+                    schema,
+                    iter_events(case.document, expand_attrs=case.expand_attrs),
+                    expected_root=case.root,
+                )
+            except Exception as exc:  # noqa: BLE001
+                record(Divergence("-", "document", f"document failed to parse: {exc!r}"))
+                return report
+            if not validation.is_valid:
+                record(
+                    Divergence(
+                        "-",
+                        "document",
+                        f"document does not conform to its DTD: {validation.errors[:3]}",
+                    )
+                )
+                return report
+
+        try:
+            reference_tree = parse_tree(case.document, expand_attrs=case.expand_attrs)
+        except Exception as exc:  # noqa: BLE001
+            record(Divergence("-", "document", f"tree materialisation failed: {exc!r}"))
+            return report
+
+        solo_outputs: Dict[str, str] = {}
+        solo_peaks: Dict[str, int] = {}
+        for name, source in case.queries:
+            solo = self._check_query(case, schema, name, source, reference_tree, report)
+            if report.divergences:
+                return report
+            solo_outputs[name], solo_peaks[name] = solo
+
+        self._check_multiquery(case, schema, solo_outputs, solo_peaks, report)
+        return report
+
+    # ----------------------------------------------------------- single query
+
+    def _check_query(
+        self,
+        case: Case,
+        schema,
+        name: str,
+        source: str,
+        reference_tree,
+        report: CaseReport,
+    ) -> Tuple[str, int]:
+        record = report.divergences.append
+        expand = case.expand_attrs
+        try:
+            reference = NaiveDomEngine(source).run_tree(reference_tree)
+        except Exception as exc:  # noqa: BLE001
+            record(Divergence(name, "naive-dom", f"reference evaluation crashed: {exc!r}"))
+            return "", 0
+        expected = reference.output
+
+        try:
+            engine = FluxEngine(source, schema)
+        except Exception as exc:  # noqa: BLE001
+            record(Divergence(name, "compile", f"scheduling/compilation crashed: {exc!r}"))
+            return "", 0
+
+        # --- sink mode 1: collect ---------------------------------------
+        try:
+            collected = engine.run(case.document, expand_attrs=expand)
+        except Exception as exc:  # noqa: BLE001 - engine crashes are findings
+            record(Divergence(name, "flux-collect", f"run crashed: {exc!r}"))
+            return expected, 0
+        if collected.output != expected:
+            record(Divergence(name, "flux-collect", _diff(expected, collected.output)))
+            return expected, collected.stats.peak_buffered_bytes
+        self._check_balanced(name, "flux-collect", collected.stats, record)
+        peak = collected.stats.peak_buffered_bytes
+
+        # --- sink mode 2: streaming fragments ---------------------------
+        try:
+            run = engine.run_streaming(case.document, expand_attrs=expand)
+            streamed = "".join(run)
+        except Exception as exc:  # noqa: BLE001
+            record(Divergence(name, "flux-streaming", f"run crashed: {exc!r}"))
+            return expected, peak
+        if streamed != expected:
+            record(Divergence(name, "flux-streaming", _diff(expected, streamed)))
+        self._check_balanced(name, "flux-streaming", run.stats, record)
+
+        # --- sink mode 3: writable sink ---------------------------------
+        sink = io.StringIO()
+        try:
+            sink_result = engine.run_to_sink(case.document, sink, expand_attrs=expand)
+        except Exception as exc:  # noqa: BLE001
+            record(Divergence(name, "flux-sink", f"run crashed: {exc!r}"))
+            return expected, peak
+        if sink.getvalue() != expected:
+            record(Divergence(name, "flux-sink", _diff(expected, sink.getvalue())))
+        self._check_balanced(name, "flux-sink", sink_result.stats, record)
+
+        # --- stats-only run (collect_output=False) ----------------------
+        try:
+            discarded = engine.run(case.document, collect_output=False, expand_attrs=expand)
+        except Exception as exc:  # noqa: BLE001
+            record(Divergence(name, "flux-discard", f"run crashed: {exc!r}"))
+            return expected, peak
+        if discarded.output is not None:
+            record(Divergence(name, "flux-discard", "collect_output=False returned output text"))
+        if discarded.stats.output_bytes != collected.stats.output_bytes:
+            record(
+                Divergence(
+                    name,
+                    "flux-discard",
+                    f"output_bytes {discarded.stats.output_bytes} != "
+                    f"{collected.stats.output_bytes} with output collection off",
+                )
+            )
+        if discarded.stats.peak_buffered_bytes != peak:
+            record(
+                Divergence(
+                    name,
+                    "flux-discard",
+                    f"peak_buffered {discarded.stats.peak_buffered_bytes} != {peak}",
+                )
+            )
+
+        # --- baseline stats without output collection -------------------
+        try:
+            stats_only = NaiveDomEngine(source).run_tree(reference_tree, collect_output=False)
+        except Exception as exc:  # noqa: BLE001
+            record(Divergence(name, "naive-dom", f"stats-only run crashed: {exc!r}"))
+            return expected, peak
+        if stats_only.output is not None:
+            record(Divergence(name, "naive-dom", "collect_output=False returned output text"))
+        if stats_only.output_bytes != len(expected):
+            record(
+                Divergence(
+                    name,
+                    "naive-dom",
+                    f"collect_output=False output_bytes {stats_only.output_bytes} != "
+                    f"{len(expected)}",
+                )
+            )
+
+        # --- projection baseline ----------------------------------------
+        try:
+            projected = ProjectionDomEngine(source).run_events(
+                iter_events(case.document, expand_attrs=expand, document_events=False)
+            )
+        except Exception as exc:  # noqa: BLE001
+            record(Divergence(name, "projection-dom", f"projection baseline crashed: {exc!r}"))
+        else:
+            if projected.output != expected:
+                record(Divergence(name, "projection-dom", _diff(expected, projected.output)))
+
+        # --- bounded-memory run (budget forces spills when buffering) ---
+        # The compiled engine is reused: memory_budget is read per run (a
+        # fresh governor each time), so only the budget field changes.
+        budget = max(self.min_budget_bytes, peak // 2)
+        try:
+            engine.memory_budget = budget
+            bounded = engine.run(case.document, expand_attrs=expand)
+        except Exception as exc:  # noqa: BLE001
+            record(Divergence(name, "flux-bounded", f"run crashed: {exc!r}"))
+            return expected, peak
+        finally:
+            engine.memory_budget = None
+        stats = bounded.stats
+        if bounded.output != expected:
+            record(Divergence(name, "flux-bounded", _diff(expected, bounded.output)))
+        self._check_balanced(name, "flux-bounded", stats, record)
+        if stats.peak_resident_bytes > budget:
+            record(
+                Divergence(
+                    name,
+                    "flux-bounded",
+                    f"resident {stats.peak_resident_bytes}B exceeds the {budget}B budget",
+                )
+            )
+        if stats.peak_buffered_bytes != peak:
+            record(
+                Divergence(
+                    name,
+                    "flux-bounded",
+                    f"logical peak {stats.peak_buffered_bytes}B != unbounded peak {peak}B "
+                    "(spilling must not change the paper's figure)",
+                )
+            )
+        if budget < peak and stats.spill_count == 0:
+            record(
+                Divergence(
+                    name,
+                    "flux-bounded",
+                    f"budget {budget}B below peak {peak}B but no page was ever spilled",
+                )
+            )
+
+        report.output_bytes += len(expected)
+        report.peak_buffered_bytes = max(report.peak_buffered_bytes, peak)
+        report.buffered = report.buffered or peak > 0
+        report.forced_spills = report.forced_spills or stats.spill_count > 0
+        return expected, peak
+
+    # ------------------------------------------------------------ multi-query
+
+    def _check_multiquery(
+        self,
+        case: Case,
+        schema,
+        solo_outputs: Dict[str, str],
+        solo_peaks: Dict[str, int],
+        report: CaseReport,
+    ) -> None:
+        record = report.divergences.append
+        budgets: List[Optional[int]] = [None]
+        if any(solo_peaks.values()):
+            total_peak = sum(solo_peaks.values())
+            budgets.append(max(self.min_budget_bytes, total_peak // 2))
+        for budget in budgets:
+            label = "multiquery" if budget is None else f"multiquery-bounded({budget}B)"
+            try:
+                run = run_queries(
+                    case.query_map,
+                    case.document,
+                    schema,
+                    expand_attrs=case.expand_attrs,
+                    memory_budget=budget,
+                )
+            except Exception as exc:  # noqa: BLE001
+                record(Divergence("*", label, f"shared pass crashed: {exc!r}"))
+                return
+            for name, expected in solo_outputs.items():
+                result = run[name]
+                if result.output != expected:
+                    record(Divergence(name, label, _diff(expected, result.output)))
+                self._check_balanced(name, label, result.stats, record)
+                if result.stats.peak_buffered_bytes != solo_peaks[name]:
+                    record(
+                        Divergence(
+                            name,
+                            label,
+                            f"per-query peak {result.stats.peak_buffered_bytes}B != "
+                            f"solo peak {solo_peaks[name]}B",
+                        )
+                    )
+            if budget is not None and run.memory is not None:
+                if run.memory["peak_resident_bytes"] > budget:
+                    record(
+                        Divergence(
+                            "*",
+                            label,
+                            f"shared resident {run.memory['peak_resident_bytes']}B "
+                            f"exceeds the {budget}B budget",
+                        )
+                    )
+
+    # -------------------------------------------------------------- invariants
+
+    @staticmethod
+    def _check_balanced(name: str, mode: str, stats: RunStatistics, record) -> None:
+        """Balanced releases: all *current* counters must settle to zero."""
+        leftovers = (
+            ("buffered events", stats.buffered_events_current),
+            ("buffered bytes", stats.buffered_bytes_current),
+            ("resident bytes", stats.resident_bytes_current),
+        )
+        for what, value in leftovers:
+            if value != 0:
+                record(
+                    Divergence(
+                        name, mode, f"unbalanced buffer accounting: {value} {what} left after the run"
+                    )
+                )
+
+
+def _diff(expected: str, actual: Optional[str]) -> str:
+    """A compact first-divergence description for failure reports."""
+    if actual is None:
+        return "engine produced no output where the reference produced text"
+    limit = min(len(expected), len(actual))
+    at = next((i for i in range(limit) if expected[i] != actual[i]), limit)
+    window = slice(max(0, at - 20), at + 20)
+    return (
+        f"outputs differ at byte {at} "
+        f"(expected ...{expected[window]!r}, got ...{actual[window]!r}; "
+        f"lengths {len(expected)} vs {len(actual)})"
+    )

@@ -1,0 +1,140 @@
+"""The fuzzing loop: generate -> check -> (shrink, persist) -> report.
+
+:func:`fuzz` drives :class:`~repro.conformance.generator.CaseGenerator`
+through :class:`~repro.conformance.oracle.Oracle` for ``cases`` consecutive
+indices of a seed.  Failing cases are minimized with the shrinker and saved
+as ``.case`` files (named ``seed<seed>-case<index>.case``) so they can be
+replayed with :func:`replay` / ``repro fuzz --replay`` and, once fixed,
+promoted to fixtures under ``tests/``.
+
+The whole sweep is deterministic: the same ``(seed, cases)`` pair visits
+the identical case sequence on every machine, which is what makes the CI
+``fuzz-smoke`` job meaningful.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.conformance.cases import Case, load_case, save_case
+from repro.conformance.generator import CaseGenerator
+from repro.conformance.oracle import CaseReport, Oracle
+from repro.conformance.shrink import Shrinker
+
+
+@dataclass
+class Failure:
+    """One failing case: the original, its shrunk repro and where it lives."""
+
+    case: Case
+    shrunk: Case
+    divergences: List[str]
+    path: Optional[str] = None
+
+    def summary(self) -> str:
+        where = f" saved to {self.path}" if self.path else ""
+        return (
+            f"{self.case.describe()} FAILED "
+            f"(shrunk to {len(self.shrunk.document)}B/"
+            f"{len(self.shrunk.queries)} queries){where}: {self.divergences[0]}"
+        )
+
+
+@dataclass
+class FuzzReport:
+    """Aggregate outcome of one fuzzing sweep."""
+
+    seed: int
+    cases_run: int = 0
+    cases_buffered: int = 0
+    cases_spilled: int = 0
+    queries_checked: int = 0
+    elapsed_seconds: float = 0.0
+    failures: List[Failure] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def summary(self) -> str:
+        verdict = "OK" if self.ok else f"{len(self.failures)} FAILURES"
+        return (
+            f"fuzz seed={self.seed}: {self.cases_run} cases "
+            f"({self.queries_checked} queries, {self.cases_buffered} buffered, "
+            f"{self.cases_spilled} forced spills) in "
+            f"{self.elapsed_seconds:.1f}s -- {verdict}"
+        )
+
+
+def fuzz(
+    seed: int,
+    cases: int,
+    *,
+    start: int = 0,
+    save_dir: Optional[str] = None,
+    max_queries: int = 3,
+    shrink: bool = True,
+    on_case: Optional[Callable[[int, CaseReport], None]] = None,
+) -> FuzzReport:
+    """Run ``cases`` generated cases of ``seed`` through the oracle.
+
+    ``on_case`` (if given) observes every case's report -- the CLI uses it
+    for progress output.  Failing cases are shrunk (unless ``shrink`` is
+    off) and written to ``save_dir`` when one is provided.
+    """
+    generator = CaseGenerator(seed, max_queries=max_queries)
+    oracle = Oracle()
+    report = FuzzReport(seed=seed)
+    started = time.perf_counter()
+    for index in range(start, start + cases):
+        try:
+            case = generator.case(index)
+        except Exception as exc:  # noqa: BLE001 - a generator crash is a finding
+            placeholder = Case(
+                seed=seed, index=index, root="?", dtd_source="", document="",
+                queries=(("q0", ""),),
+            )
+            report.failures.append(
+                Failure(placeholder, placeholder, [f"case generation crashed: {exc!r}"])
+            )
+            report.cases_run += 1
+            continue
+        case_report = oracle.examine(case)
+        report.cases_run += 1
+        if on_case is not None:
+            on_case(index, case_report)
+        if case_report.passed:
+            report.cases_buffered += case_report.buffered
+            report.cases_spilled += case_report.forced_spills
+            report.queries_checked += len(case.queries)
+            continue
+        shrunk = case
+        divergences = case_report.divergences
+        if shrink:
+            shrunk = Shrinker(lambda c: not oracle.examine(c).passed).shrink(case)
+            if shrunk is not case:
+                # The reduction may fail for a *different* reason than the
+                # original (the predicate only demands "still failing");
+                # report the divergences of the case actually saved.
+                divergences = oracle.examine(shrunk).divergences or divergences
+        failure = Failure(
+            case=case,
+            shrunk=shrunk,
+            divergences=[str(item) for item in divergences],
+        )
+        if save_dir is not None:
+            os.makedirs(save_dir, exist_ok=True)
+            failure.path = os.path.join(save_dir, f"seed{seed}-case{index}.case")
+            save_case(failure.path, shrunk)
+        report.failures.append(failure)
+    report.elapsed_seconds = time.perf_counter() - started
+    return report
+
+
+def replay(path: str) -> CaseReport:
+    """Replay a persisted ``.case`` file through the oracle (raises on failure)."""
+    case = load_case(path)
+    return Oracle().check(case)

@@ -136,21 +136,23 @@ class EventBuffer:
 
     # ---------------------------------------------------------- conversion
 
-    def to_tree(self, wrapper_name: str) -> XMLNode:
+    def to_tree(self, wrapper_name: str, *, allow_open: bool = False) -> XMLNode:
         """Materialise the buffered forest under a wrapper node.
 
         Used when an ``on-first`` handler body navigates the buffer with
         fixed paths.  The wrapper carries the name of the scope's element so
         that relative paths behave as if they navigated the original
-        element.
+        element.  ``allow_open`` tolerates still-open elements -- only the
+        runtime's mid-stream condition evaluation may pass it; everything
+        else keeps the fail-loud unclosed-element guard.
         """
-        return events_to_wrapped_tree(self._events, wrapper_name)
+        return events_to_wrapped_tree(self._events, wrapper_name, close_open=allow_open)
 
-    def to_single_node(self) -> Optional[XMLNode]:
+    def to_single_node(self, *, allow_open: bool = False) -> Optional[XMLNode]:
         """Materialise a buffer that captured one complete element (root-marked).
 
         Returns ``None`` for an empty buffer; if the buffer happens to contain
         a forest, the ``#fragment`` wrapper produced by
         :func:`~repro.xmlstream.tree.events_to_tree` is returned as is.
         """
-        return events_to_tree(self._events)
+        return events_to_tree(self._events, close_open=allow_open)

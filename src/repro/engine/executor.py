@@ -154,6 +154,7 @@ class _Frame:
         "copy_active",
         "copy_suffix",
         "pending_on_first",
+        "deferred_copies",
         "subtree_sinks",
         "owns_sinks",
         "tags_only",
@@ -169,6 +170,7 @@ class _Frame:
         self.copy_active = copy_active
         self.copy_suffix = _EMPTY
         self.pending_on_first = _EMPTY
+        self.deferred_copies = _EMPTY
         self.subtree_sinks = subtree_sinks
         self.owns_sinks = False
         self.tags_only = _EMPTY
@@ -414,14 +416,15 @@ class StreamExecutor:
         # Handler dispatch for every scope whose children we are processing.
         if parent.scopes:
             for activation in parent.scopes:
-                self._dispatch_child(activation, name, frame)
+                self._dispatch_child(activation, event, frame)
 
         if frame.copy_active:
             self.sink.write_event(event)
 
         self._stack.append(frame)
 
-    def _dispatch_child(self, activation: ScopeActivation, name: str, frame: _Frame) -> None:
+    def _dispatch_child(self, activation: ScopeActivation, event: StartElement, frame: _Frame) -> None:
+        name = event.name
         spec = activation.spec
         previous_state = activation.dfa_state
         if spec.automaton is not None and previous_state is not None:
@@ -435,10 +438,20 @@ class StreamExecutor:
                         continue
                     if table.get(new_state, False) and not table.get(previous_state, False):
                         fired.add(handler.index)
-                        if frame.pending_on_first is _EMPTY:
-                            frame.pending_on_first = [(activation, handler)]
+                        if name in handler.symbols:
+                            # The arriving child belongs to the past set:
+                            # ``past(S)`` only holds once its subtree has
+                            # been read, so run at the child's end event.
+                            if frame.pending_on_first is _EMPTY:
+                                frame.pending_on_first = [(activation, handler)]
+                            else:
+                                frame.pending_on_first.append((activation, handler))
                         else:
-                            frame.pending_on_first.append((activation, handler))
+                            # The past set closed *before* this child:
+                            # Definition 3.6 already holds, and listing
+                            # order puts the body before any stream-copy
+                            # of this same child.
+                            self._execute_handler_body(handler.body)
 
         handlers = spec.on_by_tag.get(name)
         if handlers is not None:
@@ -446,9 +459,27 @@ class StreamExecutor:
                 if handler.nested is not None:
                     self._open_scope(handler.nested, name, frame)
                 else:
-                    self._apply_stream_copy(handler.copy, frame)
+                    self._apply_stream_copy(handler.copy, event, frame)
 
-    def _apply_stream_copy(self, action: StreamCopyAction, frame: _Frame) -> None:
+    def _apply_stream_copy(self, action: StreamCopyAction, event: StartElement, frame: _Frame) -> None:
+        if action.defer:
+            # Gating conditions only become decidable once this child has
+            # been fully read: capture the subtree transiently and emit the
+            # whole action at the end event (see StreamCopyAction.defer).
+            buffer = None
+            if action.copy_var is not None:
+                buffer = self.buffers.create_buffer(action.copy_var)
+                buffer.append(event)
+                if frame.owns_sinks:
+                    frame.subtree_sinks.append(buffer)
+                else:
+                    frame.subtree_sinks = [*frame.subtree_sinks, buffer]
+                    frame.owns_sinks = True
+            if frame.deferred_copies is _EMPTY:
+                frame.deferred_copies = [(action, buffer)]
+            else:
+                frame.deferred_copies.append((action, buffer))
+            return
         for part in action.prefix:
             if part.condition is None or self._evaluate_condition(part.condition):
                 self.sink.write_text(part.text)
@@ -498,7 +529,24 @@ class StreamExecutor:
             if part.condition is None or self._evaluate_condition(part.condition):
                 self.sink.write_text(part.text)
 
-        # 4. Parent-scope ``on-first`` handlers that fired on this child run
+        # 4. Deferred actions: the child is now fully read, so their gating
+        #    conditions are decidable -- emit the whole action in order.
+        for action, buffer in frame.deferred_copies:
+            for part in action.prefix:
+                if part.condition is None or self._evaluate_condition(part.condition):
+                    self.sink.write_text(part.text)
+            if buffer is not None:
+                allowed = action.copy_condition is None or self._evaluate_condition(
+                    action.copy_condition
+                )
+                if allowed:
+                    self.sink.write_events(buffer.events)
+                buffer.release()
+            for part in action.suffix:
+                if part.condition is None or self._evaluate_condition(part.condition):
+                    self.sink.write_text(part.text)
+
+        # 5. Parent-scope ``on-first`` handlers that fired on this child run
         #    now that the child is complete.
         for activation, handler in frame.pending_on_first:
             self._execute_handler_body(handler.body)

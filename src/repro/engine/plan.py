@@ -40,7 +40,7 @@ from repro.flux.errors import UnsafeQueryError, UnschedulableQueryError
 from repro.flux.safety import check_safety
 from repro.flux.simple import SimplePart, decompose_simple
 from repro.xquery.analysis import free_variables
-from repro.xquery.ast import Condition, ROOT_VARIABLE, XQExpr
+from repro.xquery.ast import Condition, ROOT_VARIABLE, XQExpr, condition_path_refs
 
 Path = Tuple[str, ...]
 
@@ -91,12 +91,21 @@ class StreamCopyAction:
     the child's subtree is copied through if ``copy_var`` is set (guarded by
     ``copy_condition``), and ``suffix`` strings are emitted when the child
     ends.
+
+    ``defer`` marks actions whose prefix or copy condition is only
+    decidable once the triggering child has been *fully read* -- e.g. a
+    gate on ``$v/a`` attached to the ``on a`` handler itself, where the
+    referenced data is the arriving subtree.  Definition 3.6 admits such
+    schedules (the checker treats handler execution as happening at the
+    child's end), so the executor buffers the child transiently and emits
+    the whole action at its end event instead of streaming it.
     """
 
     prefix: Tuple[SimplePart, ...]
     copy_var: Optional[str]
     copy_condition: Optional[Condition]
     suffix: Tuple[SimplePart, ...]
+    defer: bool = False
 
 
 @dataclass(frozen=True)
@@ -292,7 +301,7 @@ class _ScopeCompiler:
             if isinstance(handler, OnFirstHandler):
                 handlers.append(self._compile_on_first(index, handler, element_type))
             elif isinstance(handler, OnHandler):
-                handlers.append(self._compile_on(index, handler))
+                handlers.append(self._compile_on(index, handler, element_type, block.var))
             else:  # pragma: no cover - exhaustive over the AST
                 raise TypeError(f"not a FluX handler: {handler!r}")
         return ScopeSpec(
@@ -317,7 +326,13 @@ class _ScopeCompiler:
             past_table=table,
         )
 
-    def _compile_on(self, index: int, handler: OnHandler) -> CompiledOn:
+    def _compile_on(
+        self,
+        index: int,
+        handler: OnHandler,
+        element_type: Optional[str],
+        scope_var: str,
+    ) -> CompiledOn:
         body = handler.body
         if isinstance(body, ProcessStream):
             if body.var != handler.var:
@@ -337,14 +352,53 @@ class _ScopeCompiler:
                     f"simple handler for 'on {handler.label}' copies {decomposition.copy_var}, "
                     f"which is not the bound variable {handler.var}"
                 )
+            gating = [part.condition for part in decomposition.prefix]
+            gating.append(decomposition.copy_condition)
+            defer = any(
+                condition is not None
+                and not self._start_decidable(condition, element_type, scope_var, handler)
+                for condition in gating
+            )
             action = StreamCopyAction(
                 prefix=decomposition.prefix,
                 copy_var=decomposition.copy_var,
                 copy_condition=decomposition.copy_condition,
                 suffix=decomposition.suffix,
+                defer=defer,
             )
             return CompiledOn(index, handler.label, handler.var, None, action)
         raise TypeError(f"not a FluX expression: {body!r}")
+
+    def _start_decidable(
+        self,
+        condition: Condition,
+        element_type: Optional[str],
+        scope_var: str,
+        handler: OnHandler,
+    ) -> bool:
+        """Whether a gating condition is decidable at the child's *start* event.
+
+        The safety checker (Definition 3.6) treats an ``on a`` handler as
+        executing once ``a`` has been read, so a safe condition may
+        reference the arriving subtree itself.  Streaming the copy requires
+        the stronger property that every referenced path is complete when
+        ``a`` *starts*: the path must go through the immediate scope
+        variable, must not start with the handler's own label, and its
+        first step must be ordered strictly before the label by the content
+        model.  Anything else (the bound variable, outer scopes, unknown
+        element types) is handled conservatively by deferring the action to
+        the child's end.
+        """
+        for ref in condition_path_refs(condition):
+            if ref.var == handler.var or ref.var != scope_var:
+                return False
+            if not ref.path or ref.path[0] == handler.label:
+                return False
+            if element_type is None or element_type not in self._dtd:
+                return False
+            if not self._dtd.constraints(element_type).ord(ref.path[0], handler.label):
+                return False
+        return True
 
 
 # ---------------------------------------------------------------------------

@@ -78,15 +78,21 @@ class ScopeBinding:
         return self.buffer_tree is not None and self.buffer_tree.marked
 
     def materialize(self) -> XMLNode:
-        """Build a navigable node for this scope from the buffered events."""
+        """Build a navigable node for this scope from the buffered events.
+
+        ``allow_open=True``: handler conditions may navigate a scope buffer
+        *mid-stream*, while the scope element (and the deferred child being
+        gated) are still open; Definition 3.6 safety guarantees the
+        navigated paths themselves are complete.
+        """
         if self.buffer is None:
             return XMLNode(self.element_name)
         if self.root_marked:
-            node = self.buffer.to_single_node()
+            node = self.buffer.to_single_node(allow_open=True)
             if node is None:
                 return XMLNode(self.element_name)
             return node
-        return self.buffer.to_tree(self.element_name)
+        return self.buffer.to_tree(self.element_name, allow_open=True)
 
     def covers_path(self, path: Path) -> bool:
         """Whether the buffer tree captures the content reachable via ``path``."""

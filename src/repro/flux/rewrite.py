@@ -228,6 +228,13 @@ def _rewrite_for_loop(
     # which cannot be decided while streaming the child.  Delay it instead.
     if symbol in handled:
         blocking.add(symbol)
+    # A dependency on the loop's own symbol can never be discharged by the
+    # (vacuously true, for single-occurrence content models) Ord(a, a): the
+    # referenced data ``$x/a/...`` is being read *during* the very child a
+    # streaming would execute under, so parts of it are incomplete whenever
+    # a nested handler fires.  Buffer the loop instead.
+    if symbol in deps:
+        blocking.add(symbol)
     blocking = frozenset(blocking)
 
     if loop.source != parent_var:

@@ -166,17 +166,17 @@ class PagedEventBuffer:
 
     # ---------------------------------------------------------- conversion
 
-    def to_tree(self, wrapper_name: str) -> XMLNode:
+    def to_tree(self, wrapper_name: str, *, allow_open: bool = False) -> XMLNode:
         """Materialise the buffered forest under a wrapper node.
 
         Mirrors :meth:`EventBuffer.to_tree` (same shared helper); spilled
         pages are re-loaded (decoded) on the fly.
         """
-        return events_to_wrapped_tree(iter(self), wrapper_name)
+        return events_to_wrapped_tree(iter(self), wrapper_name, close_open=allow_open)
 
-    def to_single_node(self) -> Optional[XMLNode]:
+    def to_single_node(self, *, allow_open: bool = False) -> Optional[XMLNode]:
         """Materialise a buffer that captured one complete element.
 
         Mirrors :meth:`EventBuffer.to_single_node`.
         """
-        return events_to_tree(iter(self))
+        return events_to_tree(iter(self), close_open=allow_open)

@@ -107,13 +107,20 @@ class XMLNode:
         return f"XMLNode({self.name!r}, {len(self.children)} children)"
 
 
-def events_to_tree(events: Iterable[Event]) -> Optional[XMLNode]:
+def events_to_tree(events: Iterable[Event], *, close_open: bool = False) -> Optional[XMLNode]:
     """Build a tree from an event stream; returns the root element.
 
     Document events are optional.  If the stream contains no elements the
     function returns ``None``.  If the stream contains a *forest* (several
     top-level elements, as buffered fragments may), the forest is wrapped in a
     synthetic element named ``#fragment``.
+
+    ``close_open`` tolerates a stream that ends with elements still open
+    (their end events have not been buffered yet) by closing them
+    virtually.  Scope buffers are materialised *mid-stream* when a handler
+    condition navigates them while the scope element is still being read;
+    Definition 3.6 safety guarantees the navigated paths are complete even
+    though enclosing elements are not.
     """
     roots: List[XMLNode] = []
     stack: List[XMLNode] = []
@@ -140,7 +147,7 @@ def events_to_tree(events: Iterable[Event]) -> Optional[XMLNode]:
                 stack[-1].append_child(event.text)
         else:
             raise TypeError(f"not an XML event: {event!r}")
-    if stack:
+    if stack and not close_open:
         raise ValueError(f"unclosed element <{stack[-1].name}> in event stream")
     if not roots:
         return None
@@ -152,7 +159,9 @@ def events_to_tree(events: Iterable[Event]) -> Optional[XMLNode]:
     return fragment
 
 
-def events_to_wrapped_tree(events: Iterable[Event], wrapper_name: str) -> XMLNode:
+def events_to_wrapped_tree(
+    events: Iterable[Event], wrapper_name: str, *, close_open: bool = False
+) -> XMLNode:
     """Materialise a buffered forest under a wrapper node.
 
     The single place the buffer classes share the wrapper/``#fragment``
@@ -162,7 +171,7 @@ def events_to_wrapped_tree(events: Iterable[Event], wrapper_name: str) -> XMLNod
     and the spillable paged buffer delegate here, which is what keeps
     bounded and unbounded materialization byte-identical.
     """
-    root = events_to_tree(events)
+    root = events_to_tree(events, close_open=close_open)
     if root is None:
         return XMLNode(wrapper_name)
     if root.name == "#fragment":

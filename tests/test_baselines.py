@@ -76,3 +76,32 @@ def test_naive_run_tree_entry_point():
 def test_collect_output_flag():
     result = NaiveDomEngine(XMP_INTRO).run(DOC, collect_output=False)
     assert result.output is None
+
+
+def test_collect_output_false_still_populates_statistics():
+    """Regression: the differential oracle consumes baseline statistics
+    without retaining N output strings, so every counter must survive
+    ``collect_output=False`` (output_bytes used to be unavailable)."""
+    collected = NaiveDomEngine(XMP_INTRO).run(DOC)
+    discarded = NaiveDomEngine(XMP_INTRO).run(DOC, collect_output=False)
+    assert discarded.output is None
+    assert discarded.output_bytes == len(collected.output) > 0
+    assert discarded.peak_buffered_events == collected.peak_buffered_events > 0
+    assert discarded.peak_buffered_bytes == collected.peak_buffered_bytes > 0
+    assert discarded.elapsed_seconds > 0
+
+    proj_collected = ProjectionDomEngine(XMP_INTRO).run(DOC)
+    proj_discarded = ProjectionDomEngine(XMP_INTRO).run(DOC, collect_output=False)
+    assert proj_discarded.output is None
+    assert proj_discarded.output_bytes == len(proj_collected.output) > 0
+    assert proj_discarded.peak_buffered_bytes == proj_collected.peak_buffered_bytes > 0
+
+
+def test_run_tree_collect_output_false_populates_statistics():
+    from repro.xmlstream.parser import parse_tree
+
+    tree = parse_tree(DOC)
+    engine = NaiveDomEngine(XMP_INTRO)
+    discarded = engine.run_tree(tree, collect_output=False)
+    assert discarded.output is None
+    assert discarded.output_bytes == len(engine.run_tree(tree).output)

@@ -256,3 +256,37 @@ def test_builtin_query_names_resolve_without_files(tmp_path, capsys):
     code = main(["run", "--query", "Q1", "--document", str(document), "--discard-output"])
     assert code == 0
     assert "peak-buffer=0" in capsys.readouterr().err
+
+
+def test_fuzz_command_runs_a_deterministic_sweep(tmp_path, capsys):
+    code = main(
+        ["fuzz", "--cases", "8", "--seed", "3", "--save-dir", str(tmp_path / "failures")]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "fuzz seed=3: 8 cases" in out
+    assert "OK" in out
+    assert not (tmp_path / "failures").exists()  # only created for failures
+
+
+def test_fuzz_command_replays_case_files(tmp_path, capsys):
+    from repro.conformance import CaseGenerator, save_case
+
+    path = tmp_path / "case0.case"
+    save_case(path, CaseGenerator(seed=3).case(0))
+    code = main(["fuzz", "--replay", str(path)])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "PASS" in out
+
+
+def test_fuzz_command_replay_reports_failures(tmp_path, capsys):
+    from repro.conformance import CaseGenerator, save_case
+
+    case = CaseGenerator(seed=3).case(0).with_document("<e0></e0>")
+    path = tmp_path / "broken.case"
+    save_case(path, case)
+    code = main(["fuzz", "--replay", str(path)])
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "FAIL" in out

@@ -1,4 +1,5 @@
-"""Smaller serialization / AST-utility details across the packages."""
+"""Smaller serialization / AST-utility details across the packages,
+plus property-style round-trip sweeps over fuzzer-generated documents."""
 
 import pytest
 
@@ -84,3 +85,80 @@ def test_condition_source_is_human_readable():
     condition = parse_condition("$b/year >= 1991 and $b/year <= 2004")
     rendered = condition_to_source(condition)
     assert ">=" in rendered and "<=" in rendered and " and " in rendered
+
+
+# ---------------------------------------------------------------------------
+# Tokenizer/serializer round trips on generator-produced documents
+#
+# The conformance generator emits the adversarial text shapes (markup-like
+# characters, a CDATA terminator, quotes inside attribute values, preserved
+# inner whitespace, empty elements); serializing the token stream and
+# re-tokenizing it must reproduce the event stream exactly, and the
+# serialized form must be a fixpoint.
+
+
+@pytest.fixture(scope="module")
+def fuzzer_documents():
+    from repro.conformance import CaseGenerator
+
+    cases = list(CaseGenerator(seed=77).cases(20))
+    documents = [case.document for case in cases]
+    assert any('="' in document for document in documents), "no attributes generated"
+    assert any("&lt;" in document for document in documents), "no markup-like text"
+    return documents
+
+
+def _events(document):
+    from repro.xmlstream.parser import parse_events
+
+    return parse_events(document, strip_whitespace=False, document_events=False)
+
+
+def test_round_trip_preserves_the_event_stream(fuzzer_documents):
+    for document in fuzzer_documents:
+        events = _events(document)
+        serialized = serialize_events(events)
+        assert _events(serialized) == events
+
+
+def test_serialized_form_is_a_fixpoint(fuzzer_documents):
+    """Entity and self-closing-tag normalisation converges after one pass."""
+    for document in fuzzer_documents:
+        once = serialize_events(_events(document))
+        twice = serialize_events(_events(once))
+        assert twice == once
+
+
+def test_round_trip_with_whitespace_stripping_is_consistent(fuzzer_documents):
+    from repro.xmlstream.parser import parse_events
+
+    for document in fuzzer_documents:
+        stripped = parse_events(document, strip_whitespace=True, document_events=False)
+        rendered = serialize_events(stripped)
+        assert parse_events(rendered, strip_whitespace=True, document_events=False) == stripped
+
+
+@pytest.mark.parametrize(
+    "text",
+    ["a<b&c>d", 'say "hi" & <bye>', "it's ]]> fine", "  padded  ", "line\none", "&amp;amp;"],
+)
+def test_adversarial_text_round_trips_through_element_content(text):
+    from repro.xmlstream.events import Characters
+    from repro.xmlstream.parser import parse_events
+
+    document = f"<r>{escape_text(text)}</r>"
+    events = parse_events(document, strip_whitespace=False, document_events=False)
+    assert [e.text for e in events if isinstance(e, Characters)] == [text]
+    assert serialize_events(events) == document
+
+
+@pytest.mark.parametrize("value", ['two "words"', "v<1>", "a&b", "", "  "])
+def test_adversarial_attribute_values_round_trip(value):
+    from repro.xmlstream.events import StartElement
+    from repro.xmlstream.parser import parse_events
+
+    document = f'<r a="{escape_attribute(value)}"></r>'
+    events = parse_events(document, strip_whitespace=False, document_events=False)
+    start = next(e for e in events if isinstance(e, StartElement))
+    assert start.attributes == (("a", value),)
+    assert serialize_events(events) == document

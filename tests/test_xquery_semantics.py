@@ -122,3 +122,141 @@ def test_or_condition(bib_root):
 def test_output_order_follows_document_order(bib_root):
     out = evaluate_to_string(parse_query("{ $ROOT/bib/book/author }"), bib_root)
     assert out.index("Stevens") < out.index("Abiteboul") < out.index("Buneman")
+
+
+# ---------------------------------------------------------------------------
+# Error paths: bad inputs must raise precisely, never mis-evaluate
+
+
+def test_unbound_variable_in_path_output_raises(bib_root):
+    with pytest.raises(XQueryEvaluationError):
+        evaluate_to_string(parse_query("{ $missing/title }"), bib_root)
+
+
+def test_unbound_variable_in_condition_raises(bib_root):
+    env = document_environment(bib_root)
+    with pytest.raises(XQueryEvaluationError):
+        evaluate_condition(parse_condition("$missing/year > 1991"), env)
+    with pytest.raises(XQueryEvaluationError):
+        evaluate_condition(parse_condition("exists $missing/title"), env)
+
+
+def test_unbound_variable_in_for_source_raises(bib_root):
+    with pytest.raises(XQueryEvaluationError):
+        evaluate_to_string(parse_query("{ for $b in $missing/book return { $b } }"), bib_root)
+
+
+def test_non_expression_raises_type_error(bib_root):
+    from repro.xquery.semantics import _evaluate
+
+    with pytest.raises(TypeError):
+        _evaluate("not-an-expression", {}, [])
+
+
+def test_non_condition_raises_type_error(bib_root):
+    env = document_environment(bib_root)
+    with pytest.raises(TypeError):
+        evaluate_condition("not-a-condition", env)
+
+
+def test_non_operand_raises_type_error(bib_root):
+    from repro.xquery.ast import ComparisonCondition, StringLiteral
+    from dataclasses import dataclass
+
+    @dataclass(frozen=True)
+    class Bogus:
+        pass
+
+    env = document_environment(bib_root)
+    condition = ComparisonCondition.__new__(ComparisonCondition)
+    object.__setattr__(condition, "left", Bogus())
+    object.__setattr__(condition, "op", "=")
+    object.__setattr__(condition, "right", StringLiteral("x"))
+    with pytest.raises(TypeError):
+        evaluate_condition(condition, env)
+
+
+def test_invalid_comparison_operator_raises():
+    from repro.xquery.ast import ComparisonCondition
+    from repro.xquery.semantics import _apply_op
+
+    with pytest.raises(ValueError):
+        ComparisonCondition(left=None, op="<>", right=None)
+    with pytest.raises(ValueError):
+        _apply_op(1, "~", 2)
+    assert not compare_existential([], "=", ["x"])  # empty sequence: no pair, no error
+
+
+def test_condition_on_missing_paths_is_false_not_an_error(bib_root):
+    """Paths that select nothing atomise to the empty sequence: every
+    existential comparison is simply false -- never an exception."""
+    env = document_environment(bib_root)
+    assert not evaluate_condition(parse_condition("$ROOT/bib/isbn = 1"), env)
+    assert not evaluate_condition(parse_condition("exists $ROOT/bib/isbn"), env)
+    assert evaluate_condition(parse_condition("empty($ROOT/bib/isbn)"), env)
+
+
+# ---------------------------------------------------------------------------
+# Unsafe queries must raise at planning time, not mis-plan into wrong output
+
+
+def test_unsafe_flux_query_raises_at_compile_time():
+    from repro.dtd.parser import parse_dtd
+    from repro.engine.engine import FluxEngine
+    from repro.flux.errors import UnsafeQueryError
+    from repro.flux.ast import OnFirstHandler, OnHandler, ProcessStream, SimpleFlux
+
+    dtd = parse_dtd(
+        """
+        <!ELEMENT bib (book)*>
+        <!ELEMENT book ((title|author)*,price)>
+        <!ELEMENT title (#PCDATA)> <!ELEMENT author (#PCDATA)> <!ELEMENT price (#PCDATA)>
+        """
+    ).with_root("bib")
+    # Hand-written FluX referencing price from past(title,author): price may
+    # still arrive, so Definition 3.6 is violated.
+    unsafe = ProcessStream(
+        "$ROOT",
+        [
+            OnHandler(
+                "bib",
+                "$bib",
+                ProcessStream(
+                    "$bib",
+                    [
+                        OnHandler(
+                            "book",
+                            "$b",
+                            ProcessStream(
+                                "$b",
+                                [
+                                    OnFirstHandler(
+                                        frozenset({"title", "author"}),
+                                        parse_query("{ for $p in $b/price return {$p} }"),
+                                    )
+                                ],
+                            ),
+                        )
+                    ],
+                ),
+            )
+        ],
+    )
+    with pytest.raises(UnsafeQueryError):
+        FluxEngine(unsafe, dtd)
+    # The same engine accepts it when the caller explicitly opts out.
+    FluxEngine(unsafe, dtd, require_safe=False)
+
+
+def test_ancestor_subtree_output_raises_unschedulable():
+    from repro.dtd.parser import parse_dtd
+    from repro.engine.engine import FluxEngine
+    from repro.flux.errors import FluxError
+
+    dtd = parse_dtd(
+        "<!ELEMENT bib (book)*> <!ELEMENT book (title)> <!ELEMENT title (#PCDATA)>"
+    ).with_root("bib")
+    # {$bib} output from inside the book scope: the ancestor subtree cannot
+    # be complete while we are still streaming through it.
+    with pytest.raises(FluxError):
+        FluxEngine("{ for $b in $ROOT/bib/book return { $bib } }", dtd)
