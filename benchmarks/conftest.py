@@ -81,6 +81,22 @@ def pytest_terminal_summary(terminalreporter, exitstatus, config):
                 f"{row['budget_bytes']:>11} {row['peak_resident_bytes']:>13} "
                 f"{row['spill_count']:>7} {row['seconds']:>9.3f} {row['unbounded_seconds']:>14.3f}"
             )
+    session_rows = [row for row in COLLECTED_ROWS if row.get("table") == "session"]
+    if session_rows:
+        terminalreporter.write_sep("=", "Session API (warm vs cold plan cache, feed vs pull)")
+        for row in session_rows:
+            if row["kind"] == "plan-cache-latency":
+                terminalreporter.write_line(
+                    f"{row['query']:>6} plan-cache   cold={row['cold_seconds']:.4f}s "
+                    f"warm={row['warm_seconds']:.4f}s per {row['requests']} requests "
+                    f"speedup={row['speedup']:.2f}x"
+                )
+            else:
+                terminalreporter.write_line(
+                    f"{row['query']:>6} feed-vs-pull pull={row['pull_seconds']:.4f}s "
+                    f"feed={row['feed_seconds']:.4f}s tax={row['feed_tax']:.2f}x "
+                    f"({row['megabytes_per_second_feed']:.1f} MB/s fed)"
+                )
     fuzz_rows = [row for row in COLLECTED_ROWS if row.get("table") == "fuzz"]
     if fuzz_rows:
         terminalreporter.write_sep("=", "Conformance fuzzing throughput (differential oracle)")

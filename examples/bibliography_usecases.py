@@ -13,7 +13,7 @@ Run with::
     python examples/bibliography_usecases.py
 """
 
-from repro import FluxEngine, NaiveDomEngine, load_dtd
+from repro import FluxSession, NaiveDomEngine, load_dtd
 from repro.flux.rewrite import rewrite_to_flux
 from repro.flux.serialize import flux_to_source
 from repro.xquery.parser import parse_query
@@ -69,15 +69,15 @@ def main() -> None:
         for label, dtd_text, document in variants:
             dtd = load_dtd(dtd_text, root_element="bib")
             rewrite = rewrite_to_flux(expr, dtd)
-            engine = FluxEngine(expr, dtd)
-            result = engine.run(document)
+            prepared = FluxSession(dtd).prepare(expr)
+            result = prepared.execute(document)
             reference = NaiveDomEngine(expr).run(document)
 
             print(f"\n### DTD variant: {label}")
             print("scheduled FluX query:")
             print(flux_to_source(rewrite.flux))
             print("\nbuffer trees:")
-            print(engine.describe_buffers())
+            print(prepared.describe_buffers())
             print(
                 f"\npeak buffered: {result.stats.peak_buffered_events} events / "
                 f"{result.stats.peak_buffered_bytes} bytes "

@@ -14,7 +14,7 @@ Run with::
     python examples/buffer_analysis.py
 """
 
-from repro import FluxEngine, load_dtd
+from repro import FluxSession, load_dtd
 from repro.flux.rewrite import rewrite_to_flux
 from repro.flux.serialize import flux_to_source
 from repro.xquery.parser import parse_query
@@ -55,12 +55,12 @@ def analyse(query_name: str) -> None:
     print("\n-- scheduled FluX query --")
     print(flux_to_source(rewrite.flux))
 
-    engine = FluxEngine(query, dtd)
+    prepared = FluxSession(dtd).prepare(query)
     print("\n-- buffer trees (what will be held in memory) --")
-    print(engine.describe_buffers())
-    if engine.plan.value_paths:
+    print(prepared.describe_buffers())
+    if prepared.plan.value_paths:
         print("\n-- condition paths tracked on the fly (flags/values, not buffered) --")
-        for var, paths in sorted(engine.plan.value_paths.items()):
+        for var, paths in sorted(prepared.plan.value_paths.items()):
             for path in sorted(paths):
                 print(f"  {var}/{'/'.join(path)}")
     print()

@@ -5,12 +5,16 @@ The query lists, for every book of a bibliography, its titles and authors
 either streams everything (titles are guaranteed to precede authors) or
 buffers the authors of one book at a time (no order constraint).
 
+The session API is the front door: a :class:`repro.FluxSession` holds the
+DTD and an LRU plan cache, ``prepare`` schedules + compiles a query once,
+and ``execute`` runs the prepared plan over any number of documents.
+
 Run with::
 
     python examples/quickstart.py
 """
 
-from repro import FluxEngine, NaiveDomEngine, compile_to_flux, load_dtd
+from repro import FluxSession, NaiveDomEngine, compile_to_flux, load_dtd
 
 QUERY = """
 <results>
@@ -61,15 +65,21 @@ def main() -> None:
         print(compiled.flux_source)
         print(f"safe for the DTD: {compiled.is_safe}")
 
-        engine = FluxEngine(QUERY, dtd)
+        session = FluxSession(dtd)
+        query = session.prepare(QUERY)  # scheduled + compiled once, cached
         print("--- buffers the engine will allocate ---")
-        print(engine.describe_buffers())
+        print(query.describe_buffers())
 
-        result = engine.run(DOCUMENT)
+        result = query.execute(DOCUMENT)
         print("--- result ---")
         print(result.output)
         print("--- statistics ---")
         print(result.stats.summary())
+
+        # A second prepare of the same query is a plan-cache hit: no
+        # parsing, no scheduling, no compilation.
+        assert session.prepare(QUERY).engine is query.engine
+        print(f"plan cache after a repeat prepare: {session.cache.snapshot()}")
 
     # Cross-check against the in-memory reference engine.
     reference = NaiveDomEngine(QUERY).run(DOCUMENT)

@@ -23,7 +23,7 @@ Run with::
 
 import sys
 
-from repro import FluxEngine
+from repro import FluxSession
 from repro.xmark.dtd import xmark_dtd
 from repro.xmark.generator import config_for_scale, iter_document_chunks
 from repro.xmark.queries import BENCHMARK_QUERIES
@@ -33,9 +33,10 @@ def main() -> None:
     scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.5
     config = config_for_scale(scale, seed=5)
 
-    engine = FluxEngine(BENCHMARK_QUERIES["Q13"], xmark_dtd())
+    session = FluxSession(xmark_dtd())
+    query = session.prepare(BENCHMARK_QUERIES["Q13"])
     print("scheduled FluX query:")
-    print(engine.flux_source())
+    print(query.flux_source)
     print()
 
     # The chunk iterator is consumed lazily by the pipeline's tokenize stage;
@@ -43,7 +44,7 @@ def main() -> None:
     # streaming run is equally lazy on the output side: each iteration step
     # hands back the fragments produced by one span of input.
     chunks = iter_document_chunks(config)
-    run = engine.run_streaming(chunks)
+    run = query.stream(chunks)
 
     fragments = 0
     output_chars = 0

@@ -13,7 +13,7 @@ Run with (takes a minute or two)::
 
 import sys
 
-from repro import FluxEngine, NaiveDomEngine, ProjectionDomEngine
+from repro import FluxSession, NaiveDomEngine, ProjectionDomEngine
 from repro.xmark.dtd import xmark_dtd
 from repro.xmark.generator import config_for_scale, generate_document
 from repro.xmark.queries import BENCHMARK_QUERIES
@@ -36,15 +36,16 @@ def run_benchmark(scales) -> None:
     print(header)
     print("-" * len(header))
 
+    session = FluxSession(xmark_dtd())
     for name in sorted(BENCHMARK_QUERIES):
         query = BENCHMARK_QUERIES[name]
-        flux_engine = FluxEngine(query, xmark_dtd())
+        prepared = session.prepare(query)  # one compile per query, all scales
         for scale in scales:
             if name in JOIN_QUERIES and scale > min(scales) * 2 + 1e-9:
                 continue
             document = documents[scale]
 
-            flux = flux_engine.run(document, collect_output=False)
+            flux = prepared.execute(document, collect_output=False)
             naive = NaiveDomEngine(query).run(document, collect_output=False)
             projection = ProjectionDomEngine(query).run(document, collect_output=False)
 

@@ -13,7 +13,7 @@ buffering.  This package reimplements the complete system:
 * :mod:`repro.flux` -- the FluX language, the scheduling rewrite, safety,
 * :mod:`repro.pipeline` -- the push-based event pipeline (tokenize ->
   coalesce -> project -> execute -> sink) with the pre-executor projection
-  filter and the output sinks,
+  filter and the unified Sink protocol,
 * :mod:`repro.engine` -- the streaming engine with projected buffers,
 * :mod:`repro.multiquery` -- multi-query shared-stream execution (one
   parse, N queries, merged projection with membership masks),
@@ -27,29 +27,59 @@ buffering.  This package reimplements the complete system:
 * :mod:`repro.xmark` -- XMark-like workload generator and benchmark queries,
 * :mod:`repro.core` -- the public API (start here).
 
+The public surface is session-oriented: a :class:`FluxSession` holds the
+schema, an LRU plan cache (scheduling against the DTD is the expensive,
+perfectly cacheable step) and, optionally, one memory governor shared by
+every run.  Prepared queries execute over pull-mode documents (text, path,
+file object, chunk iterable) or in **push mode**, fed chunk by chunk as
+data arrives from a network.
+
 Quickstart::
 
-    from repro import FluxEngine, load_dtd
+    from repro import FluxSession
 
-    dtd = load_dtd(open("bib.dtd").read(), root_element="bib")
-    engine = FluxEngine(open("query.xq").read(), dtd)
-    result = engine.run("bib.xml")
+    session = FluxSession(open("bib.dtd").read(), root_element="bib")
+    query = session.prepare(open("query.xq").read())   # compiled once, cached
+
+    result = query.execute("bib.xml")                  # pull mode
     print(result.output)
     print(result.stats.summary())
+
+    with query.open_run() as run:                      # push mode
+        for chunk in network_chunks:
+            run.feed(chunk)
+    print(run.result.output)
+
+The pre-session surface (:class:`FluxEngine`, :func:`run_query` and
+friends) keeps working as thin shims over the session layer.
 """
 
 from repro.core import (
+    CollectSink,
     CompiledQuery,
+    DEFAULT_OPTIONS,
+    ExecutionOptions,
     FluxEngine,
     FluxRunResult,
+    FluxSession,
+    FragmentSink,
     MemoryGovernor,
     MultiQueryEngine,
     MultiQueryRun,
     NaiveDomEngine,
+    NullSink,
+    OutputSink,
+    PlanCache,
+    PlanKey,
+    PreparedQuery,
+    PreparedQuerySet,
     ProjectionDomEngine,
     QueryRegistry,
+    RunHandle,
     RunStatistics,
+    SessionStatistics,
     StreamingRun,
+    WritableSink,
     compare_engines,
     compile_to_flux,
     load_dtd,
@@ -60,20 +90,34 @@ from repro.core import (
     run_query_to_sink,
 )
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
+    "CollectSink",
     "CompiledQuery",
+    "DEFAULT_OPTIONS",
+    "ExecutionOptions",
     "FluxEngine",
     "FluxRunResult",
+    "FluxSession",
+    "FragmentSink",
     "MemoryGovernor",
     "MultiQueryEngine",
     "MultiQueryRun",
     "NaiveDomEngine",
+    "NullSink",
+    "OutputSink",
+    "PlanCache",
+    "PlanKey",
+    "PreparedQuery",
+    "PreparedQuerySet",
     "ProjectionDomEngine",
     "QueryRegistry",
+    "RunHandle",
     "RunStatistics",
+    "SessionStatistics",
     "StreamingRun",
+    "WritableSink",
     "__version__",
     "compare_engines",
     "compile_to_flux",

@@ -41,10 +41,11 @@ import sys
 from typing import Optional, Sequence
 
 from repro.baselines import NaiveDomEngine, ProjectionDomEngine
-from repro.core.api import compile_to_flux, load_dtd, run_query_to_sink
+from repro.core.api import compile_to_flux, load_dtd
+from repro.core.options import ExecutionOptions
+from repro.core.session import FluxSession
 from repro.engine.engine import FluxEngine
 from repro.dtd.validator import validate_document
-from repro.multiquery import MultiQueryEngine, QueryRegistry
 from repro.storage import parse_memory_budget
 from repro.xmark.dtd import XMARK_DTD_SOURCE
 from repro.xmark.generator import config_for_scale, write_document, generate_document
@@ -119,27 +120,20 @@ def _cmd_run(args) -> int:
     if args.output and args.discard_output:
         print("error: --output and --discard-output are mutually exclusive", file=sys.stderr)
         return 2
-    schema = _load_schema(args)
+    session = FluxSession(
+        _load_schema(args),
+        options=ExecutionOptions(memory_budget=args.memory_budget),
+    )
+    prepared = session.prepare(
+        _resolve_query(args.query), projection=not args.no_projection
+    )
     if args.output:
         # Stream fragments straight to the file: the result never exists as
         # one in-memory string, however large it is.
         with open(args.output, "w", encoding="utf-8") as handle:
-            result = run_query_to_sink(
-                _resolve_query(args.query),
-                args.document,
-                schema,
-                handle,
-                projection=not args.no_projection,
-                memory_budget=args.memory_budget,
-            )
+            result = prepared.execute(args.document, sink=handle)
     else:
-        engine = FluxEngine(
-            _resolve_query(args.query),
-            schema,
-            projection=not args.no_projection,
-            memory_budget=args.memory_budget,
-        )
-        result = engine.run(args.document, collect_output=not args.discard_output)
+        result = prepared.execute(args.document, collect_output=not args.discard_output)
         if not args.discard_output:
             print(result.output)
     print(result.stats.summary(), file=sys.stderr)
@@ -159,17 +153,20 @@ def _cmd_multirun(args) -> int:
         )
         return 2
 
-    registry = QueryRegistry(schema, projection=not args.no_projection)
+    session = FluxSession(
+        schema, options=ExecutionOptions(memory_budget=args.memory_budget)
+    )
+    queries = {}
     names = []
     for argument in args.query:
         name = argument
         suffix = 2
-        while name in registry:
+        while name in queries:
             name = f"{argument}#{suffix}"
             suffix += 1
-        registry.register(name, _resolve_query(argument))
+        queries[name] = _resolve_query(argument)
         names.append(name)
-    engine = MultiQueryEngine(registry, memory_budget=args.memory_budget)
+    prepared = session.prepare_many(queries, projection=not args.no_projection)
 
     if args.output:
         with contextlib.ExitStack() as stack:
@@ -177,9 +174,9 @@ def _cmd_multirun(args) -> int:
                 name: stack.enter_context(open(path, "w", encoding="utf-8"))
                 for name, path in zip(names, args.output)
             }
-            run = engine.run_to_sinks(args.document, sinks)
+            run = prepared.execute(args.document, sinks=sinks)
     else:
-        run = engine.run(args.document, collect_output=not args.discard_output)
+        run = prepared.execute(args.document, collect_output=not args.discard_output)
         if not args.discard_output:
             for name in names:
                 print(f"--- {name} ---")
@@ -268,13 +265,12 @@ def _cmd_xmark(args) -> int:
     schema = load_dtd(XMARK_DTD_SOURCE, root_element="site")
     document = generate_document(config_for_scale(args.scale, seed=args.seed))
     query = BENCHMARK_QUERIES[args.query]
-    engine = FluxEngine(
-        query,
-        schema,
-        projection=not args.no_projection,
-        memory_budget=args.memory_budget,
+    session = FluxSession(
+        schema, options=ExecutionOptions(memory_budget=args.memory_budget)
     )
-    result = engine.run(document, collect_output=not args.discard_output)
+    result = session.prepare(query, projection=not args.no_projection).execute(
+        document, collect_output=not args.discard_output
+    )
     if not args.discard_output and args.show_output:
         print(result.output)
     line = (

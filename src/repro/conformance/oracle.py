@@ -13,7 +13,14 @@ execution path the repo has grown:
   pass),
 * a **bounded-memory** run with a budget of half the query's unbounded
   buffer peak -- small enough that any query that buffers at all is forced
-  to spill -- plus a bounded multi-query pass sharing one governor.
+  to spill -- plus a bounded multi-query pass sharing one governor,
+* the **session/feed path**: a :class:`~repro.core.session.FluxSession`
+  prepares every query through the plan cache and executes it in **push
+  mode** (``open_run``/``feed``/``finish``) twice, with the document split
+  at adversarial chunk boundaries -- right before and right after every
+  ``<`` (every tag truncated mid-markup) and at a fixed tiny prime stride
+  (entities, names and text all straddle chunks).  Push mode must be
+  byte-identical to pull mode at *any* split.
 
 Byte-identity across all of them is the FluX guarantee (Proposition 3.2 /
 Theorem 4.3) the paper's correctness story rests on.  On top of identity
@@ -40,7 +47,8 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.baselines import NaiveDomEngine, ProjectionDomEngine
 from repro.conformance.cases import Case
-from repro.core.api import load_dtd, run_queries
+from repro.core.api import load_dtd
+from repro.core.session import FluxSession
 from repro.dtd.validator import validate_document
 from repro.engine.engine import FluxEngine
 from repro.engine.stats import RunStatistics
@@ -50,6 +58,34 @@ from repro.xmlstream.parser import iter_events, parse_tree
 #: tolerates tiny budgets (it force-seals open tails), this floor only keeps
 #: page bookkeeping from dominating the oracle's runtime.
 MIN_BUDGET_BYTES = 32
+
+#: Fixed stride of the second feed-mode sweep: a small prime, so chunk
+#: boundaries drift through tags, entity references and text alike.
+FEED_STRIDE = 7
+
+
+def _split_at_markup(document: str) -> List[str]:
+    """Chunks cut right before *and* right after every ``<``.
+
+    The most hostile split family for a tokenizer: every single piece of
+    markup arrives truncated (a chunk ends on a lone ``<``, the next begins
+    with the tag name).
+    """
+    points = sorted({j for i, char in enumerate(document) if char == "<" for j in (i, i + 1)})
+    chunks: List[str] = []
+    previous = 0
+    for point in points:
+        if point > previous:
+            chunks.append(document[previous:point])
+            previous = point
+    if previous < len(document):
+        chunks.append(document[previous:])
+    return chunks
+
+
+def _split_fixed(document: str, stride: int) -> List[str]:
+    """Chunks of a fixed character stride."""
+    return [document[i : i + stride] for i in range(0, len(document), stride)]
 
 
 @dataclass(frozen=True)
@@ -149,15 +185,18 @@ class Oracle:
             record(Divergence("-", "document", f"tree materialisation failed: {exc!r}"))
             return report
 
+        # One session for the whole case: every query's second prepare (the
+        # feed path below) must be a plan-cache hit.
+        session = FluxSession(schema)
         solo_outputs: Dict[str, str] = {}
         solo_peaks: Dict[str, int] = {}
         for name, source in case.queries:
-            solo = self._check_query(case, schema, name, source, reference_tree, report)
+            solo = self._check_query(case, schema, session, name, source, reference_tree, report)
             if report.divergences:
                 return report
             solo_outputs[name], solo_peaks[name] = solo
 
-        self._check_multiquery(case, schema, solo_outputs, solo_peaks, report)
+        self._check_multiquery(case, schema, session, solo_outputs, solo_peaks, report)
         return report
 
     # ----------------------------------------------------------- single query
@@ -166,6 +205,7 @@ class Oracle:
         self,
         case: Case,
         schema,
+        session: FluxSession,
         name: str,
         source: str,
         reference_tree,
@@ -317,6 +357,37 @@ class Oracle:
                 )
             )
 
+        # --- session push mode at adversarial chunk splits ---------------
+        try:
+            prepared = session.prepare(source)
+        except Exception as exc:  # noqa: BLE001
+            record(Divergence(name, "session-prepare", f"prepare crashed: {exc!r}"))
+            return expected, peak
+        for label, chunks in (
+            ("feed-markup-splits", _split_at_markup(case.document)),
+            (f"feed-stride-{FEED_STRIDE}", _split_fixed(case.document, FEED_STRIDE)),
+        ):
+            try:
+                run = prepared.open_run(expand_attrs=expand)
+                for chunk in chunks:
+                    run.feed(chunk)
+                fed = run.finish()
+            except Exception as exc:  # noqa: BLE001
+                record(Divergence(name, label, f"feed run crashed: {exc!r}"))
+                return expected, peak
+            if fed.output != expected:
+                record(Divergence(name, label, _diff(expected, fed.output)))
+            self._check_balanced(name, label, fed.stats, record)
+            if fed.stats.peak_buffered_bytes != peak:
+                record(
+                    Divergence(
+                        name,
+                        label,
+                        f"push-mode peak {fed.stats.peak_buffered_bytes}B != "
+                        f"pull-mode peak {peak}B (chunking must not change buffering)",
+                    )
+                )
+
         report.output_bytes += len(expected)
         report.peak_buffered_bytes = max(report.peak_buffered_bytes, peak)
         report.buffered = report.buffered or peak > 0
@@ -329,6 +400,7 @@ class Oracle:
         self,
         case: Case,
         schema,
+        session: FluxSession,
         solo_outputs: Dict[str, str],
         solo_peaks: Dict[str, int],
         report: CaseReport,
@@ -341,13 +413,14 @@ class Oracle:
         for budget in budgets:
             label = "multiquery" if budget is None else f"multiquery-bounded({budget}B)"
             try:
-                run = run_queries(
-                    case.query_map,
-                    case.document,
-                    schema,
-                    expand_attrs=case.expand_attrs,
-                    memory_budget=budget,
-                )
+                # Sharing the case session's plan cache skips recompiling
+                # every query per budget pass (keys embed the fingerprint).
+                with FluxSession(
+                    schema, memory_budget=budget, plan_cache=session.cache
+                ) as bounded_session:
+                    run = bounded_session.prepare_many(case.query_map).execute(
+                        case.document, expand_attrs=case.expand_attrs
+                    )
             except Exception as exc:  # noqa: BLE001
                 record(Divergence("*", label, f"shared pass crashed: {exc!r}"))
                 return

@@ -1,22 +1,24 @@
 """Public API of the FluX reproduction.
 
-Most applications only need three things:
+Start with a :class:`FluxSession` -- the long-lived object a service keeps
+per schema:
 
-* :func:`compile_to_flux` -- turn an XQuery⁻ query plus a DTD into a safe,
-  buffer-minimising FluX query (the paper's Sections 4.1/4.2),
-* :class:`FluxEngine` -- compile once and execute over streaming documents,
-  collecting output and buffer statistics (Section 5); its
-  ``run_streaming`` / ``run_to_sink`` methods expose the incremental output
-  API of the push-based pipeline,
-* :func:`run_query` / :func:`run_query_streaming` / :func:`run_query_to_sink`
-  -- one-shot convenience wrappers around the two,
-* :func:`run_queries` -- multi-query execution: N registered queries share
-  one tokenize/coalesce/project pass over the document
-  (:mod:`repro.multiquery`), each returning its own result and statistics.
+* :meth:`FluxSession.prepare` -- schedule + compile a query once (LRU plan
+  cache keyed on normalized query text and the DTD fingerprint); returns a
+  :class:`PreparedQuery`,
+* :meth:`PreparedQuery.execute` -- one document through the compiled plan,
+  output to any :mod:`~repro.pipeline.sinks` target, behaviour in one
+  :class:`ExecutionOptions`,
+* :meth:`PreparedQuery.open_run` -- push mode: ``feed(chunk)`` /
+  ``finish()`` for network-arriving documents,
+* :meth:`FluxSession.prepare_many` -- N queries, one shared document pass.
 
-The baseline engines (:class:`NaiveDomEngine`, :class:`ProjectionDomEngine`)
-are re-exported for side-by-side comparisons, as used by the benchmark
-harness that reproduces Figure 4.
+:func:`compile_to_flux` exposes the scheduling rewrite itself (the paper's
+Sections 4.1/4.2); the one-shot helpers (:func:`run_query` and friends) and
+:class:`FluxEngine` remain as shims for quick scripts and the pre-session
+API.  The baseline engines (:class:`NaiveDomEngine`,
+:class:`ProjectionDomEngine`) are re-exported for side-by-side comparisons,
+as used by the benchmark harness that reproduces Figure 4.
 """
 
 from repro.core.api import (
@@ -29,28 +31,58 @@ from repro.core.api import (
     run_query_streaming,
     run_query_to_sink,
 )
+from repro.core.options import DEFAULT_OPTIONS, ExecutionOptions
+from repro.core.session import (
+    FluxSession,
+    PlanCache,
+    PlanKey,
+    PreparedQuery,
+    PreparedQuerySet,
+    SessionStatistics,
+)
 from repro.baselines import NaiveDomEngine, ProjectionDomEngine
-from repro.engine.engine import FluxEngine, FluxRunResult, StreamingRun
+from repro.engine.engine import FluxEngine, FluxRunResult, RunHandle, StreamingRun
 from repro.engine.stats import RunStatistics
 from repro.multiquery import MultiQueryEngine, MultiQueryRun, QueryRegistry
+from repro.pipeline.sinks import (
+    CollectSink,
+    FragmentSink,
+    NullSink,
+    OutputSink,
+    WritableSink,
+)
 from repro.storage import MemoryGovernor, parse_memory_budget
 
 __all__ = [
+    "CollectSink",
     "CompiledQuery",
-    "MemoryGovernor",
-    "parse_memory_budget",
+    "DEFAULT_OPTIONS",
+    "ExecutionOptions",
     "FluxEngine",
     "FluxRunResult",
+    "FluxSession",
+    "FragmentSink",
+    "MemoryGovernor",
     "MultiQueryEngine",
     "MultiQueryRun",
     "NaiveDomEngine",
+    "NullSink",
+    "OutputSink",
+    "PlanCache",
+    "PlanKey",
+    "PreparedQuery",
+    "PreparedQuerySet",
     "ProjectionDomEngine",
     "QueryRegistry",
+    "RunHandle",
     "RunStatistics",
+    "SessionStatistics",
     "StreamingRun",
+    "WritableSink",
     "compare_engines",
     "compile_to_flux",
     "load_dtd",
+    "parse_memory_budget",
     "run_queries",
     "run_query",
     "run_query_streaming",

@@ -1,22 +1,51 @@
-"""Convenience layer tying the pipeline together."""
+"""Convenience layer tying the pipeline together.
+
+Since the session redesign the one-shot functions here are thin shims over
+:class:`~repro.core.session.FluxSession` -- each call builds a throwaway
+session, prepares the query and executes it.  Long-lived callers should
+hold a session instead: prepared queries are cached (repeat execution
+skips parsing and scheduling entirely) and memory governance is shared.
+
+Migration map (old -> new)::
+
+    run_query(q, doc, dtd)            -> session.prepare(q).execute(doc)
+    run_query_streaming(q, doc, dtd)  -> session.prepare(q).stream(doc)
+    run_query_to_sink(q, doc, dtd, w) -> session.prepare(q).execute(doc, sink=w)
+    run_queries({...}, doc, dtd)      -> session.prepare_many({...}).execute(doc)
+    FluxEngine(q, dtd).run(doc)       -> session.prepare(q).execute(doc)
+    (no old equivalent)               -> session.prepare(q).open_run() -- push mode
+
+The scattered per-run keyword spellings (``collect_output=...``,
+``expand_attrs=...``, ``projection=...``, ``memory_budget=...``) keep
+working but emit :class:`DeprecationWarning`; pass an
+:class:`~repro.core.options.ExecutionOptions` (and the compile-time
+``projection`` flag to ``prepare``) instead.
+"""
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Dict, Mapping, Optional, Sequence, Union
 
 from repro.baselines import NaiveDomEngine, ProjectionDomEngine
+from repro.core.options import ExecutionOptions
+from repro.core.session import FluxSession
 from repro.dtd.parser import parse_dtd
 from repro.dtd.schema import DTD
-from repro.engine.engine import FluxEngine, FluxRunResult, StreamingRun, ensure_rooted
+from repro.engine.engine import FluxRunResult, StreamingRun, ensure_rooted
 from repro.flux.ast import FluxExpr
 from repro.flux.rewrite import rewrite_to_flux
 from repro.flux.safety import check_safety
 from repro.flux.serialize import flux_to_source
-from repro.multiquery import MultiQueryEngine, MultiQueryRun, QueryRegistry
+from repro.multiquery import MultiQueryRun
 from repro.xmlstream.parser import DocumentSource
 from repro.xquery.ast import ROOT_VARIABLE, XQExpr
 from repro.xquery.parser import parse_query
+
+#: Sentinel distinguishing "keyword not passed" from an explicit value, so
+#: the deprecation warning only fires for spellings the caller actually used.
+_UNSET = object()
 
 
 def load_dtd(source: Union[str, DTD], *, root_element: Optional[str] = None) -> DTD:
@@ -68,25 +97,60 @@ def compile_to_flux(
     )
 
 
+def _legacy_options(options: Optional[ExecutionOptions], **legacy):
+    """Fold legacy keyword spellings into ``(options, projection)``, warning
+    when any deprecated spelling was actually used."""
+    given = {key: value for key, value in legacy.items() if value is not _UNSET}
+    if given:
+        warnings.warn(
+            f"the {sorted(given)} keyword spelling(s) are deprecated; pass "
+            "options=ExecutionOptions(...) (and give 'projection' to "
+            "FluxSession.prepare) instead",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+    projection = given.pop("projection", True)
+    return ExecutionOptions.from_kwargs(options, **given), projection
+
+
+def _session_for(dtd: Union[str, DTD], root_element: Optional[str]) -> FluxSession:
+    """A throwaway session for one shim call.
+
+    Deliberately built *without* session-level options: the run's options
+    (budget included) are passed per call, so any memory governor is
+    run-owned and closed deterministically when the run ends -- a session
+    governor would only be released by the session finalizer.
+    """
+    schema = load_dtd(dtd, root_element=root_element)
+    return FluxSession(schema)
+
+
 def run_query(
     query: Union[str, XQExpr],
     document: DocumentSource,
     dtd: Union[str, DTD],
     *,
     root_element: Optional[str] = None,
-    collect_output: bool = True,
-    expand_attrs: bool = False,
-    projection: bool = True,
-    memory_budget: Optional[int] = None,
+    options: Optional[ExecutionOptions] = None,
+    collect_output=_UNSET,
+    expand_attrs=_UNSET,
+    projection=_UNSET,
+    memory_budget=_UNSET,
 ) -> FluxRunResult:
     """One-shot: schedule, compile and execute a query over a document.
 
-    ``memory_budget`` (bytes) makes the run's buffers spillable under a
-    hard resident cap (see :mod:`repro.storage`); output is unaffected.
+    A shim over :class:`~repro.core.session.FluxSession` -- hold a session
+    yourself to reuse compiled plans across calls.
     """
-    schema = load_dtd(dtd, root_element=root_element)
-    engine = FluxEngine(query, schema, projection=projection, memory_budget=memory_budget)
-    return engine.run(document, collect_output=collect_output, expand_attrs=expand_attrs)
+    opts, use_projection = _legacy_options(
+        options,
+        collect_output=collect_output,
+        expand_attrs=expand_attrs,
+        projection=projection,
+        memory_budget=memory_budget,
+    )
+    session = _session_for(dtd, root_element)
+    return session.prepare(query, projection=use_projection).execute(document, options=opts)
 
 
 def run_query_streaming(
@@ -95,9 +159,10 @@ def run_query_streaming(
     dtd: Union[str, DTD],
     *,
     root_element: Optional[str] = None,
-    expand_attrs: bool = False,
-    projection: bool = True,
-    memory_budget: Optional[int] = None,
+    options: Optional[ExecutionOptions] = None,
+    expand_attrs=_UNSET,
+    projection=_UNSET,
+    memory_budget=_UNSET,
 ) -> "StreamingRun":
     """One-shot streaming run: iterate serialized output fragments.
 
@@ -106,9 +171,14 @@ def run_query_streaming(
     ever materialized, so result size does not affect peak memory.  Its
     ``stats`` attribute carries the run statistics once exhausted.
     """
-    schema = load_dtd(dtd, root_element=root_element)
-    engine = FluxEngine(query, schema, projection=projection, memory_budget=memory_budget)
-    return engine.run_streaming(document, expand_attrs=expand_attrs)
+    opts, use_projection = _legacy_options(
+        options,
+        expand_attrs=expand_attrs,
+        projection=projection,
+        memory_budget=memory_budget,
+    )
+    session = _session_for(dtd, root_element)
+    return session.prepare(query, projection=use_projection).stream(document, options=opts)
 
 
 def run_query_to_sink(
@@ -118,20 +188,27 @@ def run_query_to_sink(
     writable,
     *,
     root_element: Optional[str] = None,
-    expand_attrs: bool = False,
-    projection: bool = True,
-    memory_budget: Optional[int] = None,
+    options: Optional[ExecutionOptions] = None,
+    expand_attrs=_UNSET,
+    projection=_UNSET,
+    memory_budget=_UNSET,
 ) -> FluxRunResult:
     """One-shot file-output run: write fragments straight into ``writable``.
 
-    Mirrors :meth:`FluxEngine.run_to_sink` without requiring the caller to
-    build an engine: ``writable`` is anything with a ``write(str)`` method
-    (an open file, a socket wrapper, ``sys.stdout``).  The result's
-    ``output`` is ``None``; peak memory stays independent of output size.
+    ``writable`` is anything with a ``write(str)`` method (an open file, a
+    socket wrapper, ``sys.stdout``).  The result's ``output`` is ``None``;
+    peak memory stays independent of output size.
     """
-    schema = load_dtd(dtd, root_element=root_element)
-    engine = FluxEngine(query, schema, projection=projection, memory_budget=memory_budget)
-    return engine.run_to_sink(document, writable, expand_attrs=expand_attrs)
+    opts, use_projection = _legacy_options(
+        options,
+        expand_attrs=expand_attrs,
+        projection=projection,
+        memory_budget=memory_budget,
+    )
+    session = _session_for(dtd, root_element)
+    return session.prepare(query, projection=use_projection).execute(
+        document, sink=writable, options=opts
+    )
 
 
 def run_queries(
@@ -140,44 +217,35 @@ def run_queries(
     dtd: Union[str, DTD],
     *,
     root_element: Optional[str] = None,
-    collect_output: bool = True,
+    options: Optional[ExecutionOptions] = None,
+    collect_output=_UNSET,
     sinks: Optional[Mapping[str, object]] = None,
-    expand_attrs: bool = False,
-    projection: bool = True,
-    memory_budget: Optional[int] = None,
+    expand_attrs=_UNSET,
+    projection=_UNSET,
+    memory_budget=_UNSET,
 ) -> MultiQueryRun:
     """Run N queries over one shared document pass (multi-query execution).
 
     ``queries`` is either a mapping ``name -> query`` or a plain sequence
-    (auto-named ``q0``, ``q1``, ...).  The document is tokenized, coalesced
-    and projected exactly once through the merged union filter; each query
-    executes against its own projected sub-stream with its own buffers and
-    statistics, so per-query results are identical to N independent
-    :func:`run_query` calls -- only the shared scan cost is amortized.
-
-    When ``sinks`` is given it must map every query name to a writable
-    object; each query's output streams into its sink and the per-query
-    ``output`` fields are ``None``.
-
-    ``memory_budget`` (bytes) caps resident buffered memory for the whole
-    pass: one shared governor spills the coldest buffer pages of any query
-    to disk when the mix would exceed it (see :mod:`repro.storage`).
+    (auto-named ``q0``, ``q1``, ...); see
+    :meth:`~repro.core.session.FluxSession.prepare_many`.  When ``sinks``
+    is given it must map every query name to a writable object.
     """
     if isinstance(queries, str):
         raise TypeError(
             "queries must be a mapping or a sequence of queries; "
             "for a single query use run_query(...)"
         )
-    if not isinstance(queries, Mapping):
-        queries = {f"q{index}": query for index, query in enumerate(queries)}
-    schema = load_dtd(dtd, root_element=root_element)
-    registry = QueryRegistry(schema, projection=projection)
-    for name, query in queries.items():
-        registry.register(name, query)
-    engine = MultiQueryEngine(registry, memory_budget=memory_budget)
-    if sinks is not None:
-        return engine.run_to_sinks(document, sinks, expand_attrs=expand_attrs)
-    return engine.run(document, collect_output=collect_output, expand_attrs=expand_attrs)
+    opts, use_projection = _legacy_options(
+        options,
+        collect_output=collect_output,
+        expand_attrs=expand_attrs,
+        projection=projection,
+        memory_budget=memory_budget,
+    )
+    session = _session_for(dtd, root_element)
+    prepared = session.prepare_many(queries, projection=use_projection)
+    return prepared.execute(document, sinks=sinks, options=opts)
 
 
 def compare_engines(
@@ -200,11 +268,11 @@ def compare_engines(
     schema = load_dtd(dtd, root_element=root_element)
     expr = parse_query(query) if isinstance(query, str) else query
 
-    flux_engine = FluxEngine(expr, schema, projection=projection)
-    flux_result = flux_engine.run(document)
+    session = FluxSession(schema)
+    flux_result = session.prepare(expr, projection=projection).execute(document)
 
-    naive = NaiveDomEngine(expr).run(document)
-    projection = ProjectionDomEngine(expr).run(document)
+    naive_result = NaiveDomEngine(expr).run(document)
+    projection_result = ProjectionDomEngine(expr).run(document)
 
     return {
         "flux": {
@@ -214,15 +282,15 @@ def compare_engines(
             "elapsed_seconds": flux_result.stats.elapsed_seconds,
         },
         "naive-dom": {
-            "output": naive.output,
-            "peak_buffered_bytes": naive.peak_buffered_bytes,
-            "peak_buffered_events": naive.peak_buffered_events,
-            "elapsed_seconds": naive.elapsed_seconds,
+            "output": naive_result.output,
+            "peak_buffered_bytes": naive_result.peak_buffered_bytes,
+            "peak_buffered_events": naive_result.peak_buffered_events,
+            "elapsed_seconds": naive_result.elapsed_seconds,
         },
         "projection-dom": {
-            "output": projection.output,
-            "peak_buffered_bytes": projection.peak_buffered_bytes,
-            "peak_buffered_events": projection.peak_buffered_events,
-            "elapsed_seconds": projection.elapsed_seconds,
+            "output": projection_result.output,
+            "peak_buffered_bytes": projection_result.peak_buffered_bytes,
+            "peak_buffered_events": projection_result.peak_buffered_events,
+            "elapsed_seconds": projection_result.elapsed_seconds,
         },
     }

@@ -1,0 +1,84 @@
+"""Execution options: one object instead of four scattered kwargs.
+
+Before the session redesign, every layer of the engine threaded
+``collect_output`` / ``expand_attrs`` / ``memory_budget`` /
+``memory_page_bytes`` through its own signature.  :class:`ExecutionOptions`
+is the single carrier for all per-run knobs; compile-time choices
+(projection, simplifications, safety) stay parameters of
+:meth:`~repro.core.session.FluxSession.prepare` because they select *which
+plan* is built, not how a run executes it.
+
+Options are immutable; derive variants with :meth:`ExecutionOptions.replace`
+or build one from legacy keyword spellings with
+:func:`ExecutionOptions.from_kwargs`.
+
+.. note:: Import-layering constraint: :mod:`repro.engine.engine` imports
+   this module while the rest of :mod:`repro.core` imports the engine, so
+   this module must never import from ``repro.core`` or ``repro.engine``
+   (only leaf modules such as :mod:`repro.xmlstream`) -- anything more
+   would close an import cycle at package-import time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace as _dc_replace
+from typing import Optional
+
+from repro.xmlstream.parser import DEFAULT_CHUNK_SIZE
+
+
+@dataclass(frozen=True)
+class ExecutionOptions:
+    """Per-run execution knobs, shared by every public execution path.
+
+    Parameters
+    ----------
+    collect_output:
+        Join the run's output into ``result.output`` (default).  Off, the
+        run only counts output events/bytes (a :class:`~repro.pipeline.sinks.NullSink`);
+        ignored when an explicit sink is passed to ``execute``.
+    expand_attrs:
+        Apply the paper's attribute-to-subelement expansion to the input.
+    memory_budget:
+        Hard cap, in bytes, on resident buffered memory (see
+        :mod:`repro.storage`); ``None`` keeps all buffers on the heap.
+    memory_page_bytes:
+        Page granularity for spillable buffers; only meaningful with a
+        budget.
+    chunk_size:
+        Read size for pull-mode document sources.
+    """
+
+    collect_output: bool = True
+    expand_attrs: bool = False
+    memory_budget: Optional[int] = None
+    memory_page_bytes: Optional[int] = None
+    chunk_size: int = DEFAULT_CHUNK_SIZE
+
+    def __post_init__(self) -> None:
+        if self.memory_budget is not None and self.memory_budget <= 0:
+            raise ValueError(f"memory_budget must be positive, got {self.memory_budget}")
+        if self.chunk_size <= 0:
+            raise ValueError(f"chunk_size must be positive, got {self.chunk_size}")
+
+    def replace(self, **changes) -> "ExecutionOptions":
+        """A copy with the given fields changed (validation re-runs)."""
+        return _dc_replace(self, **changes)
+
+    @classmethod
+    def from_kwargs(
+        cls, base: Optional["ExecutionOptions"] = None, **kwargs
+    ) -> "ExecutionOptions":
+        """Build options from keyword overrides on top of a base.
+
+        ``None``-valued keywords mean "not given, inherit from the base" --
+        to explicitly lift a base's memory budget, pass a full
+        ``ExecutionOptions`` instead of an override.
+        """
+        base = base if base is not None else DEFAULT_OPTIONS
+        changes = {key: value for key, value in kwargs.items() if value is not None}
+        return base.replace(**changes) if changes else base
+
+
+#: The defaults every session starts from.
+DEFAULT_OPTIONS = ExecutionOptions()

@@ -14,6 +14,7 @@ root element (see :meth:`DTD.with_root`).
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Tuple
 
@@ -80,6 +81,7 @@ class DTD:
         self._automata: Dict[str, GlushkovAutomaton] = {}
         self._constraints: Dict[str, OrderConstraints] = {}
         self._root: Optional[str] = None
+        self._fingerprint: Optional[str] = None
 
     # ------------------------------------------------------------ structure
 
@@ -178,6 +180,31 @@ class DTD:
         if name not in self._declarations:
             return True
         return self.declaration(name).allows_text
+
+    # ------------------------------------------------------------- identity
+
+    def fingerprint(self) -> str:
+        """A stable content digest identifying this schema.
+
+        Two :class:`DTD` objects with the same declarations (in the same
+        order), the same ``<!ATTLIST>`` information and the same attached
+        root produce the same fingerprint -- across processes and Python
+        versions, since it hashes the canonical source rendering rather
+        than any in-memory identity.  The session layer's plan cache keys
+        compiled plans on ``(normalized query, fingerprint)``, so a schema
+        change can never serve a stale plan.
+        """
+        if self._fingerprint is None:
+            hasher = hashlib.sha256()
+            for declaration in self._declarations.values():
+                hasher.update(declaration.to_source().encode("utf-8"))
+                hasher.update(b"\n")
+            for name in sorted(self._attlists):
+                attrs = ",".join(self._attlists[name])
+                hasher.update(f"<!ATTLIST {name} {attrs}>\n".encode("utf-8"))
+            hasher.update(f"root={self._root}".encode("utf-8"))
+            self._fingerprint = hasher.hexdigest()
+        return self._fingerprint
 
     # -------------------------------------------------------------- output
 

@@ -14,29 +14,38 @@
 The engine can equally be constructed from an already-built FluX query
 (hand-written or produced elsewhere); it then starts at step 4.
 
-Three execution modes share one compiled plan:
+One compiled plan serves every execution shape:
 
-* :meth:`FluxEngine.run` -- collect (or discard) the output, return a
-  :class:`FluxRunResult`,
-* :meth:`FluxEngine.run_streaming` -- iterate serialized output fragments
-  while the input is being consumed; nothing is ever joined into one big
-  string, so output size does not affect peak memory,
-* :meth:`FluxEngine.run_to_sink` -- push fragments into any writable object
-  (an open file, a socket, ``sys.stdout``) as they are produced.
+* :meth:`FluxEngine.execute` -- the unified entry: one document, any
+  :mod:`~repro.pipeline.sinks` target, one :class:`ExecutionOptions`,
+* :meth:`FluxEngine.open_run` -- **push mode**: a :class:`RunHandle` whose
+  ``feed(chunk)`` / ``finish()`` execute the query incrementally as chunks
+  arrive (network sockets, message frames) without any pull-based source,
+* :meth:`FluxEngine.stream` / :meth:`FluxEngine.run_streaming` -- iterate
+  serialized output fragments while the input is being consumed,
+* :meth:`FluxEngine.run` / :meth:`FluxEngine.run_to_sink` -- the legacy
+  spellings, now thin shims over :meth:`FluxEngine.execute`.
+
+The session layer (:mod:`repro.core.session`) adds plan caching and
+session-scoped memory governance on top; its ``PreparedQuery`` calls
+straight into :meth:`execute` / :meth:`open_run` with an externally-owned
+governor.
 """
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass
 from typing import Iterator, Optional, Union
 
+from repro.core.options import DEFAULT_OPTIONS, ExecutionOptions
 from repro.dtd.schema import DTD, ROOT_ELEMENT
 from repro.engine.executor import ExecutionResult, StreamExecutor
 from repro.engine.plan import QueryPlan, compile_plan
 from repro.flux.ast import FluxExpr
 from repro.flux.rewrite import RewriteResult, rewrite_to_flux
 from repro.pipeline.pipeline import EventPipeline
-from repro.pipeline.sinks import FragmentSink, WritableSink
+from repro.pipeline.sinks import FragmentSink, resolve_sink
 from repro.storage.governor import MemoryGovernor
 from repro.xmlstream.parser import DocumentSource
 from repro.xquery.ast import ROOT_VARIABLE, XQExpr
@@ -64,6 +73,19 @@ class FluxRunResult:
 from repro.engine.stats import RunStatistics  # noqa: E402  (documented forward ref)
 
 
+def _quiet_abort(executor: StreamExecutor) -> None:
+    """Best-effort executor teardown for abandoned runs.
+
+    Releases live scope buffers so a *shared* (session-owned) governor gets
+    its pages and spill-store space back.  Exceptions are swallowed: this
+    runs from close()/GC paths that must never mask the original error.
+    """
+    try:
+        executor.abort()
+    except Exception:  # noqa: BLE001 - cleanup of an already-failing run
+        pass
+
+
 def ensure_rooted(dtd: DTD, root_element: Optional[str] = None) -> DTD:
     """Attach the virtual document root to a DTD that lacks one.
 
@@ -88,15 +110,55 @@ class StreamingRun:
     output produced by some bounded span of input.  After exhaustion,
     :attr:`stats` carries the completed run's statistics (also available
     while streaming, with partially-accumulated counters).
+
+    A run that owns a memory governor releases its spill file when the
+    iteration ends -- exhausted *or* abandoned -- and additionally via
+    :meth:`close`, context-manager exit, and a garbage-collection finalizer,
+    so a run that is created but never iterated cannot leak the governor.
     """
 
-    def __init__(self, executor: StreamExecutor, sink: FragmentSink, batches, governor=None):
+    def __init__(
+        self,
+        executor: StreamExecutor,
+        sink: FragmentSink,
+        batches,
+        governor=None,
+        owns_governor: bool = True,
+        on_finish=None,
+    ):
         self._executor = executor
         self._sink = sink
         self._batches = batches
-        self._governor = governor
+        self._governor = governor if owns_governor else None
         self._consumed = False
+        self._on_finish = on_finish
         self.stats: RunStatistics = executor.stats
+        # Both finalizers reference the executor/governor, never the run
+        # itself, so they cannot keep the run alive; both are idempotent.
+        self._abort_finalizer = weakref.finalize(self, _quiet_abort, executor)
+        if self._governor is not None:
+            self._finalizer = weakref.finalize(self, self._governor.close)
+        else:
+            self._finalizer = None
+
+    def close(self) -> None:
+        """Release the run's resources without (further) iterating it.
+
+        Closing an unconsumed or abandoned run marks it consumed, releases
+        any live scope buffers (so a session-shared governor gets its pages
+        back) and closes an owned governor (spill file included); closing
+        an exhausted or already-closed run is a no-op.
+        """
+        self._consumed = True
+        self._abort_finalizer()
+        if self._finalizer is not None:
+            self._finalizer()  # runs governor.close() exactly once
+
+    def __enter__(self) -> "StreamingRun":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     def __iter__(self) -> Iterator[str]:
         if self._consumed:
@@ -120,11 +182,139 @@ class StreamingRun:
             fragment = sink.drain()
             if fragment:
                 yield fragment
+            if self._on_finish is not None:
+                self._on_finish(self.stats)
         finally:
-            # The governor (if any) is per-run: its spill file dies with the
+            # An owned governor is per-run: its spill file dies with the
             # stream, whether the consumer exhausted it or abandoned it.
-            if self._governor is not None:
-                self._governor.close()
+            self.close()
+
+
+class RunHandle:
+    """One in-flight **push-mode** execution: feed chunks, then finish.
+
+    Where :class:`StreamingRun` *pulls* from a document source, a run
+    handle is driven by the caller -- typically a network loop handing over
+    payload chunks as they arrive::
+
+        with prepared.open_run() as run:
+            for chunk in socket_chunks:
+                run.feed(chunk)
+        print(run.result.output)
+
+    ``feed`` accepts text or UTF-8 bytes split at arbitrary points (every
+    pipeline stage is resumable across chunk boundaries) and returns the
+    output drained from the sink so far when the sink supports draining
+    (a :class:`~repro.pipeline.sinks.FragmentSink`), ``None`` otherwise.
+    ``finish`` flushes the final events, validates well-formedness and
+    returns the :class:`FluxRunResult`; the context manager finishes on a
+    clean exit and aborts (``close``) on an exception.  Statistics are
+    live on :attr:`stats` throughout.
+    """
+
+    def __init__(
+        self,
+        executor: StreamExecutor,
+        feed,
+        governor=None,
+        owns_governor: bool = True,
+        on_finish=None,
+    ):
+        self._executor = executor
+        self._feed = feed
+        self._governor = governor if owns_governor else None
+        self._on_finish = on_finish
+        self._state = "open"
+        self.stats: RunStatistics = executor.stats
+        #: The completed run's result; set by :meth:`finish`.
+        self.result: Optional[FluxRunResult] = None
+        self._drain = getattr(executor.sink, "drain", None)
+        # As in StreamingRun: finalizers reference executor/governor only,
+        # so an unclosed, garbage-collected handle still releases its live
+        # buffers (shared governor) and its owned governor's spill file.
+        self._abort_finalizer = weakref.finalize(self, _quiet_abort, executor)
+        if self._governor is not None:
+            self._finalizer = weakref.finalize(self, self._governor.close)
+        else:
+            self._finalizer = None
+        executor.begin()
+
+    # ----------------------------------------------------------------- feed
+
+    def feed(self, chunk) -> Optional[str]:
+        """Execute one more chunk of the document (text or UTF-8 bytes).
+
+        Returns the newly-produced output when the sink is drainable,
+        ``None`` otherwise.  A parse or execution error aborts the run
+        (resources are released) and re-raises -- except the text-after-
+        partial-UTF-8 guard below, which raises *before* anything is
+        consumed, so the run stays open and feeding the remaining bytes
+        recovers it.
+        """
+        if self._state != "open":
+            raise RuntimeError(f"cannot feed a {self._state} run")
+        if isinstance(chunk, str) and self._feed.pending_bytes:
+            raise ValueError(
+                "cannot feed text while a partial UTF-8 sequence from a "
+                "previous byte chunk is pending; feed the remaining bytes first"
+            )
+        try:
+            batch = self._feed.feed(chunk)
+            if batch:
+                self._executor.process_batch(batch)
+        except Exception:
+            self.close()
+            raise
+        return self._drain() if self._drain is not None else None
+
+    def drain(self) -> str:
+        """Pending output of a drainable sink (e.g. the tail produced by
+        ``finish``); the empty string for non-drainable sinks."""
+        return self._drain() if self._drain is not None else ""
+
+    def finish(self) -> FluxRunResult:
+        """End of input: flush, validate, release resources, return the result."""
+        if self._state == "finished":
+            return self.result
+        if self._state != "open":
+            raise RuntimeError("cannot finish a closed run")
+        try:
+            tail = self._feed.finish()
+            if tail:
+                self._executor.process_batch(tail)
+            execution = self._executor.finish()
+        except Exception:
+            self.close()
+            raise
+        self._state = "finished"
+        self._abort_finalizer()  # no live buffers remain: a no-op teardown
+        if self._finalizer is not None:
+            self._finalizer()
+        self.result = FluxRunResult(output=execution.output, stats=execution.stats)
+        if self._on_finish is not None:
+            self._on_finish(self.stats)
+        return self.result
+
+    def close(self) -> None:
+        """Abort an unfinished run, releasing its buffers and governor.
+
+        Idempotent.  Live scope buffers are released so a session-shared
+        governor gets its pages (and spill-store space) back immediately.
+        """
+        if self._state == "open":
+            self._state = "closed"
+        self._abort_finalizer()
+        if self._finalizer is not None:
+            self._finalizer()
+
+    def __enter__(self) -> "RunHandle":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None and self._state == "open":
+            self.finish()
+        else:
+            self.close()
 
 
 class FluxEngine:
@@ -203,11 +393,22 @@ class FluxEngine:
 
     # ------------------------------------------------------------ execution
 
-    def _make_governor(self) -> Optional[MemoryGovernor]:
+    def _run_options(self, **overrides) -> ExecutionOptions:
+        """Options for a legacy-spelling run: engine fields + call kwargs."""
+        return ExecutionOptions.from_kwargs(
+            DEFAULT_OPTIONS,
+            memory_budget=self.memory_budget,
+            memory_page_bytes=self.memory_page_bytes,
+            **overrides,
+        )
+
+    def _make_governor(self, options: Optional[ExecutionOptions] = None) -> Optional[MemoryGovernor]:
         """A fresh per-run governor, or ``None`` when memory is unbounded."""
-        if self.memory_budget is None:
+        budget = self.memory_budget if options is None else options.memory_budget
+        page_bytes = self.memory_page_bytes if options is None else options.memory_page_bytes
+        if budget is None:
             return None
-        return MemoryGovernor(self.memory_budget, page_bytes=self.memory_page_bytes)
+        return MemoryGovernor(budget, page_bytes=page_bytes)
 
     def _executor(
         self,
@@ -229,6 +430,122 @@ class FluxEngine:
             buffer_factory=governor.make_buffer if governor is not None else None,
         )
 
+    def _run_setup(self, options, sink, governor, owns_governor: bool):
+        """The shared preamble of every execution shape.
+
+        Resolves options, creates the run's statistics, binds the sink and
+        settles governor ownership: an injected governor keeps the caller's
+        ownership flag, an absent one is created from the options and owned
+        by this run.  Returns ``(options, stats, bound_sink, governor,
+        owned)``.
+        """
+        if options is None:
+            options = self._run_options()
+        stats = RunStatistics()
+        bound_sink = resolve_sink(sink, stats, collect_output=options.collect_output)
+        owned = owns_governor
+        if governor is None:
+            governor = self._make_governor(options)
+            owned = True
+        return options, stats, bound_sink, governor, owned
+
+    def execute(
+        self,
+        document: DocumentSource,
+        *,
+        sink=None,
+        options: Optional[ExecutionOptions] = None,
+        governor: Optional[MemoryGovernor] = None,
+        owns_governor: bool = True,
+        on_finish=None,
+    ) -> FluxRunResult:
+        """The unified pull-mode execution path.
+
+        ``sink`` follows the Sink protocol (:func:`~repro.pipeline.sinks.resolve_sink`):
+        ``None`` collects (or just counts, per ``options.collect_output``),
+        a writable streams, an :class:`~repro.pipeline.sinks.OutputSink`
+        instance is used directly.  ``governor`` lets a caller (the session
+        layer) inject a shared memory governor; with ``owns_governor=False``
+        it survives the run.  ``on_finish`` is called with the completed
+        run's statistics (session bookkeeping).
+        """
+        options, stats, bound_sink, governor, owned = self._run_setup(
+            options, sink, governor, owns_governor
+        )
+        executor = self._executor(sink=bound_sink, stats=stats, governor=governor)
+        try:
+            batches = self.pipeline.event_batches(
+                document,
+                expand_attrs=options.expand_attrs,
+                stats=stats,
+                chunk_size=options.chunk_size,
+            )
+            result: ExecutionResult = executor.run_batches(batches)
+        except BaseException:
+            # A failed run must not leave its live buffers' pages charged
+            # against a *shared* (session-owned) governor; an owned one is
+            # closed below, which releases everything at once.
+            if governor is not None and not owned:
+                _quiet_abort(executor)
+            raise
+        finally:
+            if owned and governor is not None:
+                governor.close()
+        if on_finish is not None:
+            on_finish(stats)
+        return FluxRunResult(output=result.output, stats=result.stats)
+
+    def open_run(
+        self,
+        *,
+        sink=None,
+        options: Optional[ExecutionOptions] = None,
+        governor: Optional[MemoryGovernor] = None,
+        owns_governor: bool = True,
+        on_finish=None,
+    ) -> RunHandle:
+        """Open a **push-mode** run: the caller feeds document chunks.
+
+        Returns a :class:`RunHandle`; see its docs for the feed/finish
+        protocol.  Unlike :meth:`execute` there is no document argument --
+        the input arrives through :meth:`RunHandle.feed`, split at arbitrary
+        byte/character boundaries.
+        """
+        options, stats, bound_sink, governor, owned = self._run_setup(
+            options, sink, governor, owns_governor
+        )
+        executor = self._executor(sink=bound_sink, stats=stats, governor=governor)
+        feed = self.pipeline.open_feed(expand_attrs=options.expand_attrs, stats=stats)
+        return RunHandle(
+            executor, feed, governor=governor, owns_governor=owned, on_finish=on_finish
+        )
+
+    def stream(
+        self,
+        document: DocumentSource,
+        *,
+        options: Optional[ExecutionOptions] = None,
+        governor: Optional[MemoryGovernor] = None,
+        owns_governor: bool = True,
+        on_finish=None,
+    ) -> StreamingRun:
+        """Pull-mode execution yielding serialized output fragments lazily."""
+        options, stats, sink, governor, owned = self._run_setup(
+            options, FragmentSink(), governor, owns_governor
+        )
+        executor = self._executor(sink=sink, stats=stats, governor=governor)
+        batches = self.pipeline.event_batches(
+            document,
+            expand_attrs=options.expand_attrs,
+            stats=stats,
+            chunk_size=options.chunk_size,
+        )
+        return StreamingRun(
+            executor, sink, batches, governor=governor, owns_governor=owned, on_finish=on_finish
+        )
+
+    # ------------------------------------------------- legacy run spellings
+
     def run(
         self,
         document: DocumentSource,
@@ -237,17 +554,10 @@ class FluxEngine:
         expand_attrs: bool = False,
     ) -> FluxRunResult:
         """Execute the query over a document (text, path, file object, chunks)."""
-        governor = self._make_governor()
-        try:
-            executor = self._executor(collect_output=collect_output, governor=governor)
-            batches = self.pipeline.event_batches(
-                document, expand_attrs=expand_attrs, stats=executor.stats
-            )
-            result: ExecutionResult = executor.run_batches(batches)
-        finally:
-            if governor is not None:
-                governor.close()
-        return FluxRunResult(output=result.output, stats=result.stats)
+        return self.execute(
+            document,
+            options=self._run_options(collect_output=collect_output, expand_attrs=expand_attrs),
+        )
 
     def run_events(self, events, *, collect_output: bool = True) -> FluxRunResult:
         """Execute the query over an already-parsed event iterable."""
@@ -273,12 +583,7 @@ class FluxEngine:
         parsed, projected and executed as fragments are pulled, and no
         full-output string is ever materialized.
         """
-        stats = RunStatistics()
-        sink = FragmentSink(stats)
-        governor = self._make_governor()
-        executor = self._executor(sink=sink, stats=stats, governor=governor)
-        batches = self.pipeline.event_batches(document, expand_attrs=expand_attrs, stats=stats)
-        return StreamingRun(executor, sink, batches, governor=governor)
+        return self.stream(document, options=self._run_options(expand_attrs=expand_attrs))
 
     def run_to_sink(
         self,
@@ -293,16 +598,8 @@ class FluxEngine:
         are written as they are produced; the run's peak memory stays
         independent of the output size.
         """
-        stats = RunStatistics()
-        sink = WritableSink(stats, writable)
-        governor = self._make_governor()
-        try:
-            executor = self._executor(sink=sink, stats=stats, governor=governor)
-            batches = self.pipeline.event_batches(
-                document, expand_attrs=expand_attrs, stats=stats
-            )
-            result = executor.run_batches(batches)
-        finally:
-            if governor is not None:
-                governor.close()
-        return FluxRunResult(output=None, stats=result.stats)
+        return self.execute(
+            document,
+            sink=writable,
+            options=self._run_options(expand_attrs=expand_attrs),
+        )

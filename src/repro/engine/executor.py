@@ -29,8 +29,13 @@ Hot-path structure (the pipeline's *execute* stage):
   object allocation,
 * the run is decomposed into :meth:`StreamExecutor.begin` /
   :meth:`StreamExecutor.process_batch` / :meth:`StreamExecutor.finish`, which
-  is what lets the engine drain the output sink between batches and expose a
-  streaming-fragment API.
+  is what lets the engine drain the output sink between batches, expose a
+  streaming-fragment API, and -- since the session redesign -- execute in
+  **push mode**: a :class:`~repro.engine.engine.RunHandle` calls
+  ``process_batch`` with whatever events one fed chunk completed, at any
+  chunk boundary, and ``finish`` validates and flushes exactly as in pull
+  mode.  All executor state (frames, scopes, buffers) is held between
+  batches, so no stage ever needs the whole document.
 """
 
 from __future__ import annotations
@@ -266,6 +271,25 @@ class StreamExecutor:
                 raise TypeError(f"not an XML event: {event!r}")
         if count and self._count_input:
             self.stats.record_input(count, cost)
+
+    def abort(self) -> None:
+        """Best-effort teardown of an abandoned run.
+
+        Releases every live scope buffer and deferred-copy buffer so a
+        *shared* (session-owned) memory governor gets its pages and
+        spill-store space back -- an aborted push-mode feed or abandoned
+        stream must not let dead pages count against the session budget
+        forever.  Safe to call at any point and idempotent; the executor
+        is unusable afterwards.
+        """
+        for frame in self._stack:
+            for activation in frame.scopes:
+                if activation.buffer is not None:
+                    activation.buffer.release()
+            for _action, buffer in frame.deferred_copies:
+                buffer.release()
+        self._stack = []
+        self._active_scopes = {}
 
     def finish(self) -> ExecutionResult:
         """End of stream: close the root scope and emit the plan postlude."""

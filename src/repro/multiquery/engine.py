@@ -91,11 +91,16 @@ class MultiQueryEngine:
         chunk_size: int = DEFAULT_CHUNK_SIZE,
         memory_budget: Optional[int] = None,
         memory_page_bytes: Optional[int] = None,
+        governor: Optional[MemoryGovernor] = None,
     ):
         self.registry = registry
         self.chunk_size = chunk_size
         self.memory_budget = memory_budget
         self.memory_page_bytes = memory_page_bytes
+        #: An externally-owned governor (the session layer's): when set it
+        #: is shared by every pass and never closed here; ``memory_budget``
+        #: is ignored in its favour.
+        self.governor = governor
         self._merged: Optional[MergedProjectionSpec] = None
         self._merged_version = -1
 
@@ -167,11 +172,15 @@ class MultiQueryEngine:
         started_at = time.perf_counter()
 
         # One governor for the whole pass: all N executors' buffers share
-        # the same byte budget, LRU and spill file.
-        governor: Optional[MemoryGovernor] = None
+        # the same byte budget, LRU and spill file.  An external
+        # (session-owned) governor is shared across passes instead.
+        governor: Optional[MemoryGovernor] = self.governor
+        owns_governor = False
         factory = None
-        if self.memory_budget is not None:
+        if governor is None and self.memory_budget is not None:
             governor = MemoryGovernor(self.memory_budget, page_bytes=self.memory_page_bytes)
+            owns_governor = True
+        if governor is not None:
             factory = governor.make_buffer
 
         stats_list = [RunStatistics() for _ in entries]
@@ -202,7 +211,18 @@ class MultiQueryEngine:
                 for entry, execution in zip(entries, (executor.finish() for executor in executors))
             }
             memory = governor.telemetry() if governor is not None else None
+        except BaseException:
+            # A failed pass must not leave N executors' live buffer pages
+            # charged against an external (session-owned) governor; an
+            # owned governor is closed below, releasing everything at once.
+            if governor is not None and not owns_governor:
+                for executor in executors:
+                    try:
+                        executor.abort()
+                    except Exception:  # noqa: BLE001 - best-effort cleanup
+                        pass
+            raise
         finally:
-            if governor is not None:
+            if owns_governor and governor is not None:
                 governor.close()
         return MultiQueryRun(results, time.perf_counter() - started_at, memory=memory)

@@ -100,6 +100,29 @@ class QueryRegistry:
         self.version += 1
         return entry
 
+    def register_engine(self, name: str, engine: FluxEngine) -> RegisteredQuery:
+        """Hold an already-compiled engine under ``name``.
+
+        This is how the session layer shares its plan cache with multi-query
+        execution: :meth:`~repro.core.session.FluxSession.prepare_many`
+        obtains (possibly cached) engines and registers them here without
+        recompiling.  The engine must have been compiled against this
+        registry's rooted DTD.
+        """
+        if name in self._entries:
+            raise ValueError(f"query {name!r} is already registered")
+        # Compare by content fingerprint, not object identity: a shared
+        # plan cache legitimately hands one session an engine compiled by
+        # another session over an equal (but distinct) DTD object.
+        if engine.dtd.fingerprint() != self.dtd.fingerprint():
+            raise ValueError(
+                f"engine for {name!r} was compiled against a different DTD"
+            )
+        entry = RegisteredQuery(name=name, index=len(self._entries), engine=engine)
+        self._entries[name] = entry
+        self.version += 1
+        return entry
+
     # ----------------------------------------------------------------- access
 
     def __len__(self) -> int:

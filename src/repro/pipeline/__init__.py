@@ -26,27 +26,34 @@ tokenize/coalesce pass feeds N per-query projected sub-streams.
 """
 
 from repro.pipeline.fanout import MergedProjectionSpec, MergedStreamProjector
-from repro.pipeline.pipeline import EventPipeline
+from repro.pipeline.pipeline import EventPipeline, PipelineFeed
 from repro.pipeline.projection import ProjectionSpec, StreamProjector
 from repro.pipeline.sinks import (
+    CollectSink,
     CollectingSink,
     FragmentSink,
+    NullSink,
     OutputSink,
     WritableSink,
+    resolve_sink,
 )
 from repro.pipeline.stages import batched, coalesce_batches, coalesce_characters
 
 __all__ = [
+    "CollectSink",
     "CollectingSink",
     "EventPipeline",
     "FragmentSink",
     "MergedProjectionSpec",
     "MergedStreamProjector",
+    "NullSink",
     "OutputSink",
+    "PipelineFeed",
     "ProjectionSpec",
     "StreamProjector",
     "WritableSink",
     "batched",
     "coalesce_batches",
     "coalesce_characters",
+    "resolve_sink",
 ]

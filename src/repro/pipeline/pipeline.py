@@ -8,17 +8,33 @@ The first three stages live here (the executor and sinks are pluggable so
 the engine can collect, discard, stream or write the output).  All stages
 exchange *batches* of SAX events -- one bounded list per input chunk -- so
 the per-token cost is a few dict lookups, never a Python generator frame.
+
+The pipeline runs in two directions:
+
+* **pull mode** (:meth:`EventPipeline.event_batches`): the pipeline drives a
+  :class:`~repro.xmlstream.parser.DocumentSource` and the executor consumes
+  the resulting batch iterator,
+* **push mode** (:meth:`EventPipeline.open_feed`): the *caller* drives --
+  each :meth:`PipelineFeed.feed` call stages one arbitrarily-split text (or
+  UTF-8 byte) chunk through tokenize/coalesce/project and returns the
+  surviving events.  Every stage is resumable across chunk boundaries (the
+  tokenizer holds at most one pending token, the projector keeps its cursor
+  stack), which is what lets network-arriving documents execute without any
+  pull-based source behind them.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, List, Optional
+import codecs
+from typing import Iterable, Iterator, List, Optional, Union
 
 from repro.engine.plan import QueryPlan
 from repro.pipeline.projection import ProjectionSpec, StreamProjector
-from repro.pipeline.stages import batched, coalesce_batches
+from repro.pipeline.stages import batched, coalesce_batches, coalesce_characters
+from repro.xmlstream.attributes import expand_attributes
 from repro.xmlstream.events import Event
 from repro.xmlstream.parser import DEFAULT_CHUNK_SIZE, DocumentSource, iter_event_batches
+from repro.xmlstream.tokenizer import Tokenizer
 
 
 class EventPipeline:
@@ -69,18 +85,20 @@ class EventPipeline:
         *,
         expand_attrs: bool = False,
         stats=None,
+        chunk_size: Optional[int] = None,
     ) -> Iterator[List[Event]]:
         """The fully-staged batch stream for one document.
 
         When the projection filter is active and ``stats`` is given, input
         accounting happens inside the filter (pre-drop); otherwise the
-        executor records input per batch itself.
+        executor records input per batch itself.  ``chunk_size`` overrides
+        the pipeline default for this one document.
         """
         batches = iter_event_batches(
             document,
             expand_attrs=expand_attrs,
             document_events=False,
-            chunk_size=self.chunk_size,
+            chunk_size=chunk_size if chunk_size is not None else self.chunk_size,
         )
         return self._staged(batches, stats)
 
@@ -94,3 +112,97 @@ class EventPipeline:
         if projector is not None:
             batches = projector.filter_batches(batches)
         return batches
+
+    # ------------------------------------------------------------- push mode
+
+    def open_feed(self, *, expand_attrs: bool = False, stats=None) -> "PipelineFeed":
+        """Open an incremental (push-mode) instance of the document stages.
+
+        The returned :class:`PipelineFeed` accepts arbitrarily-split chunks
+        via ``feed`` and stages them through tokenize -> coalesce ->
+        project, returning the surviving event batch per chunk.  Input
+        accounting mirrors pull mode: with the projection filter active and
+        ``stats`` given, the filter records pre-drop totals itself.
+        """
+        return PipelineFeed(self, expand_attrs=expand_attrs, stats=stats)
+
+
+class PipelineFeed:
+    """One in-flight push-mode pass through a pipeline's document stages.
+
+    All per-run cursor state lives here -- the incremental tokenizer, the
+    optional UTF-8 decoder for byte chunks, and the projection cursor -- so
+    one :class:`EventPipeline` (and the compiled plan behind it) can serve
+    any number of concurrent feeds.
+    """
+
+    __slots__ = ("_tokenizer", "_projector", "_expand", "_decoder", "_finished")
+
+    def __init__(self, pipeline: EventPipeline, *, expand_attrs: bool = False, stats=None):
+        self._tokenizer = Tokenizer(report_document_events=False)
+        self._projector = pipeline.projector(stats)
+        self._expand = expand_attrs
+        self._decoder = None
+        self._finished = False
+
+    @property
+    def pending_bytes(self) -> bool:
+        """Whether a byte chunk left a partial UTF-8 sequence pending.
+
+        While true, only byte chunks may be fed (callers that want to mix
+        in text can check this first -- the run handle does, so its guard
+        raises *before* any state changes and the run stays usable).
+        """
+        return self._decoder is not None and bool(self._decoder.getstate()[0])
+
+    def feed(self, chunk: Union[str, bytes, bytearray]) -> List[Event]:
+        """Stage one chunk; returns the events that became complete.
+
+        Byte chunks are decoded incrementally (a multi-byte UTF-8 code
+        point may straddle a chunk boundary), so a network socket can be
+        drained straight into the feed.  Text and byte chunks may be mixed,
+        except that a text chunk cannot follow a byte chunk that ended
+        mid-code-point -- the pending bytes would have to be reordered
+        around the text; that call raises ``ValueError`` instead.
+        """
+        if self._finished:
+            raise RuntimeError("this feed is finished; open a new one")
+        if isinstance(chunk, (bytes, bytearray)):
+            if self._decoder is None:
+                self._decoder = codecs.getincrementaldecoder("utf-8")()
+            chunk = self._decoder.decode(bytes(chunk))
+            if not chunk:
+                return []
+        elif self.pending_bytes:
+            raise ValueError(
+                "cannot feed text while a partial UTF-8 sequence from a "
+                "previous byte chunk is pending; feed the remaining bytes first"
+            )
+        return self._stage(self._tokenizer.feed_batch(chunk))
+
+    def finish(self) -> List[Event]:
+        """Signal end of input; returns (and stages) any remaining events.
+
+        Raises :class:`~repro.xmlstream.errors.XMLWellFormednessError` when
+        the document is incomplete -- exactly like pull-mode parsing.
+        """
+        if self._finished:
+            return []
+        self._finished = True
+        if self._decoder is not None:
+            tail = self._decoder.decode(b"", final=True)
+            if tail:
+                return self._stage(self._tokenizer.feed_batch(tail)) + self._stage(
+                    self._tokenizer.close_batch()
+                )
+        return self._stage(self._tokenizer.close_batch())
+
+    def _stage(self, batch: List[Event]) -> List[Event]:
+        if not batch:
+            return batch
+        if self._expand:
+            batch = list(expand_attributes(batch))
+        batch = coalesce_characters(batch)
+        if self._projector is not None:
+            batch = self._projector.filter_batch(batch)
+        return batch

@@ -1,22 +1,37 @@
-"""Output sinks: where the executor's serialized result goes.
+"""The unified Sink protocol: where a run's serialized result goes.
 
 The seed engine joined every run's output into one giant string.  The sink
-hierarchy decouples *producing* output from *materializing* it:
+hierarchy decouples *producing* output from *materializing* it, and is the
+single answer to "where does the output go?" across the whole public API
+(:meth:`PreparedQuery.execute(..., sink=...)
+<repro.core.session.PreparedQuery.execute>`, the engine's run methods, the
+multi-query engine and the CLI):
 
 * :class:`OutputSink` -- base class; counts output events/bytes and discards
-  the text (the ``collect_output=False`` mode of the engine).
-* :class:`CollectingSink` -- accumulates fragments and joins them once at the
+  the text.
+* :class:`NullSink` -- the explicit spelling of "count only, keep nothing"
+  (what ``collect_output=False`` used to mean).
+* :class:`CollectSink` -- accumulates fragments and joins them once at the
   end of the run (the classic ``result.output`` behaviour).
+  ``CollectingSink`` remains as a deprecated alias.
 * :class:`WritableSink` -- pushes every fragment straight into a writable
   object (an open file, a socket wrapper, ``sys.stdout``); nothing is
   retained, so output far larger than main memory streams through flat.
 * :class:`FragmentSink` -- holds fragments only until the driver drains them;
-  this is what :meth:`~repro.engine.engine.FluxEngine.run_streaming` uses to
-  yield serialized fragments incrementally.
+  streaming iteration (:meth:`~repro.engine.engine.FluxEngine.run_streaming`)
+  and the push-mode :class:`~repro.core.session.RunHandle` use it to hand
+  serialized fragments back incrementally.
 
 All sinks implement the tiny writer protocol the XQuery⁻ evaluator and the
 stream executor use: ``write_text`` (pre-serialized markup), ``write_event``
 (one SAX event), ``write_events`` and ``write_node`` (subtrees).
+
+Sinks can be constructed *unbound* (without statistics) by API users --
+``prepared.execute(doc, sink=CollectSink())`` -- and are bound to the run's
+:class:`~repro.engine.stats.RunStatistics` via :meth:`OutputSink.bind` when
+execution starts.  :func:`resolve_sink` is the one place the public API
+turns a sink argument (``None``, a writable object, or a sink instance)
+into a bound sink.
 """
 
 from __future__ import annotations
@@ -34,8 +49,23 @@ class OutputSink:
 
     __slots__ = ("stats",)
 
-    def __init__(self, stats: RunStatistics):
+    def __init__(self, stats: Optional[RunStatistics] = None):
+        self.stats = stats if stats is not None else RunStatistics()
+
+    def bind(self, stats: RunStatistics) -> "OutputSink":
+        """Attach the run's statistics and reset any per-run state.
+
+        Binding happens at the start of every execution a sink is passed
+        to, so reusing one sink instance across runs starts each run
+        clean -- a :class:`CollectSink` never leaks the previous run's
+        output into the next ``result.output``.
+        """
         self.stats = stats
+        self._reset()
+        return self
+
+    def _reset(self) -> None:
+        """Drop per-run state (subclass hook; base sinks keep none)."""
 
     # -------------------------------------------------------------- protocol
 
@@ -74,20 +104,37 @@ class OutputSink:
         """Receive one serialized fragment (base class: discard)."""
 
 
-class CollectingSink(OutputSink):
+class NullSink(OutputSink):
+    """Counts output events/bytes, retains nothing.
+
+    The explicit spelling of the old ``collect_output=False`` mode: use it
+    when only the statistics of a run matter.
+    """
+
+    __slots__ = ()
+
+
+class CollectSink(OutputSink):
     """Accumulates all fragments; ``text()`` joins them once."""
 
     __slots__ = ("_parts",)
 
-    def __init__(self, stats: RunStatistics):
+    def __init__(self, stats: Optional[RunStatistics] = None):
         super().__init__(stats)
         self._parts: List[str] = []
 
     def _emit(self, rendered: str) -> None:
         self._parts.append(rendered)
 
+    def _reset(self) -> None:
+        self._parts.clear()
+
     def text(self) -> Optional[str]:
         return "".join(self._parts)
+
+
+#: Deprecated alias kept for the pre-session API surface.
+CollectingSink = CollectSink
 
 
 class WritableSink(OutputSink):
@@ -99,7 +146,14 @@ class WritableSink(OutputSink):
 
     __slots__ = ("_write",)
 
-    def __init__(self, stats: RunStatistics, writable) -> None:
+    def __init__(self, stats=None, writable=None) -> None:
+        # Both ``WritableSink(stats, handle)`` (the engine-internal spelling)
+        # and ``WritableSink(handle)`` (an unbound user-constructed sink,
+        # bound to the run's statistics by resolve_sink) are accepted.
+        if writable is None and stats is not None and hasattr(stats, "write"):
+            stats, writable = None, stats
+        if writable is None:
+            raise TypeError("WritableSink requires an object with a write(str) method")
         super().__init__(stats)
         self._write = writable.write
 
@@ -117,12 +171,15 @@ class FragmentSink(OutputSink):
 
     __slots__ = ("_parts",)
 
-    def __init__(self, stats: RunStatistics):
+    def __init__(self, stats: Optional[RunStatistics] = None):
         super().__init__(stats)
         self._parts: List[str] = []
 
     def _emit(self, rendered: str) -> None:
         self._parts.append(rendered)
+
+    def _reset(self) -> None:
+        self._parts.clear()
 
     def drain(self) -> str:
         """Return (and forget) the pending output fragments."""
@@ -131,3 +188,23 @@ class FragmentSink(OutputSink):
         joined = "".join(self._parts)
         self._parts.clear()
         return joined
+
+
+def resolve_sink(target, stats: RunStatistics, *, collect_output: bool = True) -> OutputSink:
+    """Turn a public-API ``sink`` argument into a bound :class:`OutputSink`.
+
+    * ``None`` -- a :class:`CollectSink` (or a :class:`NullSink` when
+      ``collect_output`` is off): the classic ``result.output`` behaviour,
+    * an :class:`OutputSink` instance -- used as-is, bound to ``stats``,
+    * anything with a ``write(str)`` method -- wrapped in a
+      :class:`WritableSink`.
+    """
+    if target is None:
+        return CollectSink(stats) if collect_output else NullSink(stats)
+    if isinstance(target, OutputSink):
+        return target.bind(stats)
+    if hasattr(target, "write"):
+        return WritableSink(stats, target)
+    raise TypeError(
+        f"sink must be None, an OutputSink, or a writable object; got {target!r}"
+    )

@@ -28,6 +28,14 @@ Two hot-path properties matter for throughput:
 The tokenizer never holds more than one pending token worth of text beyond
 the current chunk, so it can be used on documents far larger than main
 memory -- which is the point of the whole exercise.
+
+Because every ``feed_batch`` call resumes exactly where the previous chunk
+ended (mid-tag, mid-entity, mid-text), the tokenizer is also the substrate
+of the engine's **push mode** (:class:`repro.pipeline.pipeline.PipelineFeed`
+/ :meth:`repro.core.session.PreparedQuery.open_run`): callers may cut the
+document at arbitrary points and output is guaranteed byte-identical to a
+single-chunk parse.  The conformance oracle fuzzes precisely this
+invariant at adversarial split points.
 """
 
 from __future__ import annotations

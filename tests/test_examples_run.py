@@ -56,3 +56,23 @@ def test_xmark_benchmark_example_small_scale():
     out = _run("xmark_benchmark.py", "0.03")
     assert "flux" in out and "naive-dom" in out
     assert "Shape to look for" in out
+
+
+def test_push_feed_example():
+    out = _run("push_feed.py", "0.05")
+    assert "push == pull output" in out
+    assert "True" in out
+
+
+def test_every_example_is_exercised():
+    """Every script in examples/ has a smoke test in this module."""
+    scripts = {path.name for path in EXAMPLES_DIR.glob("*.py")}
+    covered = {
+        "quickstart.py",
+        "bibliography_usecases.py",
+        "buffer_analysis.py",
+        "streaming_pipeline.py",
+        "xmark_benchmark.py",
+        "push_feed.py",
+    }
+    assert scripts == covered, f"examples without a smoke test: {scripts - covered}"
