@@ -1,0 +1,214 @@
+"""Accelerated engine core: classic pipeline vs the bytes-native fast path.
+
+Measures the engineering constant factors the fast path buys on the XMark
+workload, in three shapes:
+
+* **stages**: the document stages alone, each pipeline producing its
+  native inter-stage product -- filtered classic ``Event`` batches from
+  tokenize/coalesce/project, filtered struct-of-arrays batches from the
+  byte scanner.  (Event materialization is the executor-boundary adapter,
+  so it belongs to the consumer; the pull shape charges it to the fast
+  path.)
+* **pull**: end-to-end ``engine.execute`` with the fast path off / on
+  (same plan, same projection automaton, executor included),
+* **push**: the same document fed as 64 KiB *byte* chunks through
+  ``open_run`` -- the fast path's zero-copy entry (no UTF-8 decode on the
+  feed path), against the classic incremental decoder.
+
+Timing is min-of-N over tightly interleaved classic/fast rounds with GC
+paused: the hosts this runs on show multi-second noise windows that move
+single-run medians by 30%+, and interleaving keeps both paths inside the
+same window so the ratio survives the noise.
+
+Every comparison asserts byte-identical output first; the recorded rows
+carry MB/s and (pre-projection) events/s for both paths plus the speedup,
+and a final summary row reports the geometric-mean speedup per shape.
+"""
+
+from __future__ import annotations
+
+import gc
+import math
+import time
+from typing import Dict, List
+
+import pytest
+
+from repro import FluxEngine
+from repro.core.options import ExecutionOptions
+from repro.fastpath import FastEventPipeline
+from repro.fastpath.scanner import ByteScanner
+from repro.xmark.dtd import xmark_dtd
+from repro.xmark.queries import BENCHMARK_QUERIES
+
+from _workload import FIGURE4_SCALES, record_row, xmark_document
+
+_SCALE = FIGURE4_SCALES[-1]
+_QUERIES = sorted(BENCHMARK_QUERIES)
+_FEED_CHUNK = 64 * 1024
+_ROUNDS_STAGES = 9
+_ROUNDS_E2E = 5
+
+_CLASSIC = ExecutionOptions(collect_output=False, fastpath=False)
+_FAST = ExecutionOptions(collect_output=False, fastpath=True)
+
+#: Per-shape speedups accumulated by the parametrized tests; the summary
+#: test (last in file order) folds them into geometric means.
+_SPEEDUPS: Dict[str, List[float]] = {"stages": [], "pull": [], "push": []}
+
+
+def _engine(query: str) -> FluxEngine:
+    return FluxEngine(BENCHMARK_QUERIES[query], xmark_dtd())
+
+
+def _race(benchmark, classic_fn, fast_fn, rounds: int):
+    """Best-of-``rounds`` for both paths, tightly interleaved, GC paused."""
+    classic_fn()  # warm caches (interned events, tag table, flat cells)
+    benchmark.pedantic(fast_fn, rounds=1, iterations=1)
+    best_classic = best_fast = float("inf")
+    enabled = gc.isenabled()
+    gc.disable()
+    try:
+        clock = time.perf_counter
+        for _ in range(rounds):
+            gc.collect()  # outside the timed windows: keep allocator state flat
+            t = clock()
+            classic_fn()
+            best_classic = min(best_classic, clock() - t)
+            gc.collect()
+            t = clock()
+            fast_fn()
+            best_fast = min(best_fast, clock() - t)
+    finally:
+        if enabled:
+            gc.enable()
+    return best_classic, best_fast
+
+
+def _record(benchmark, query, shape, document_bytes, events, classic_s, fast_s) -> None:
+    speedup = classic_s / fast_s if fast_s else float("inf")
+    _SPEEDUPS[shape].append(speedup)
+    record_row(
+        benchmark,
+        table="fastpath",
+        query=query,
+        shape=shape,
+        document_bytes=document_bytes,
+        classic_seconds=classic_s,
+        fastpath_seconds=fast_s,
+        classic_mb_per_second=document_bytes / classic_s / 1e6 if classic_s else 0.0,
+        fastpath_mb_per_second=document_bytes / fast_s / 1e6 if fast_s else 0.0,
+        classic_events_per_second=events / classic_s if classic_s else 0.0,
+        fastpath_events_per_second=events / fast_s if fast_s else 0.0,
+        speedup=speedup,
+    )
+
+
+def _push_run(engine: FluxEngine, data: bytes, options: ExecutionOptions):
+    with engine.open_run(options=options) as run:
+        for start in range(0, len(data), _FEED_CHUNK):
+            run.feed(data[start : start + _FEED_CHUNK])
+    return run.result
+
+
+@pytest.mark.parametrize("query", _QUERIES)
+def test_fastpath_stage_throughput(benchmark, query):
+    document = xmark_document(_SCALE)
+    data = document.encode("utf-8")
+    engine = _engine(query)
+    fast = FastEventPipeline(engine.plan, engine.pipeline.projection_spec)
+
+    # Identity gate: the struct-of-arrays rows must materialize to exactly
+    # the classic stages' event stream (same survivors, same coalescing).
+    classic_events = [e for batch in engine.pipeline.event_batches(document) for e in batch]
+    fast_events: List = []
+    events = 0  # pre-projection input events (identical for both paths)
+    scanner = ByteScanner(fast.tags, fast.table)
+    for batch in scanner.scan_document(data, fast.chunk_size):
+        events += batch.seen
+        fast_events.extend(batch.materialize())
+    assert fast_events == classic_events
+
+    def consume_classic():
+        for _ in engine.pipeline.event_batches(document):
+            pass
+
+    def consume_fast():
+        for _ in ByteScanner(fast.tags, fast.table).scan_document(data, fast.chunk_size):
+            pass
+
+    classic_s, fast_s = _race(benchmark, consume_classic, consume_fast, _ROUNDS_STAGES)
+    _record(benchmark, query, "stages", len(data), events, classic_s, fast_s)
+
+
+@pytest.mark.parametrize("query", _QUERIES)
+def test_fastpath_pull_throughput(benchmark, query):
+    document = xmark_document(_SCALE)
+    engine = _engine(query)
+
+    # Byte-identity gate: the accelerated core must not change the output.
+    collected_classic = engine.execute(document, options=_CLASSIC.replace(collect_output=True))
+    collected_fast = engine.execute(document, options=_FAST.replace(collect_output=True))
+    assert collected_fast.output == collected_classic.output
+    assert collected_fast.stats.input_events == collected_classic.stats.input_events
+
+    classic_s, fast_s = _race(
+        benchmark,
+        lambda: engine.execute(document, options=_CLASSIC),
+        lambda: engine.execute(document, options=_FAST),
+        _ROUNDS_E2E,
+    )
+    _record(
+        benchmark,
+        query,
+        "pull",
+        len(document.encode("utf-8")),
+        collected_classic.stats.input_events,
+        classic_s,
+        fast_s,
+    )
+
+
+@pytest.mark.parametrize("query", _QUERIES)
+def test_fastpath_push_throughput(benchmark, query):
+    document = xmark_document(_SCALE)
+    data = document.encode("utf-8")
+    engine = _engine(query)
+
+    collected_classic = engine.execute(document, options=_CLASSIC.replace(collect_output=True))
+    pushed_fast = _push_run(engine, data, _FAST.replace(collect_output=True))
+    assert pushed_fast.output == collected_classic.output
+
+    classic_s, fast_s = _race(
+        benchmark,
+        lambda: _push_run(engine, data, _CLASSIC),
+        lambda: _push_run(engine, data, _FAST),
+        _ROUNDS_E2E,
+    )
+    _record(
+        benchmark,
+        query,
+        "push",
+        len(data),
+        collected_classic.stats.input_events,
+        classic_s,
+        fast_s,
+    )
+
+
+def test_fastpath_geomean_summary(benchmark):
+    """Fold the per-query speedups into one geometric mean per shape."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    for shape, speedups in _SPEEDUPS.items():
+        if not speedups:
+            continue
+        geomean = math.exp(sum(math.log(s) for s in speedups) / len(speedups))
+        record_row(
+            benchmark,
+            table="fastpath",
+            query="ALL",
+            shape=f"{shape}-geomean",
+            document_bytes=0,
+            queries=len(speedups),
+            speedup=geomean,
+        )

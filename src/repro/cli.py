@@ -83,6 +83,14 @@ def _resolve_query(argument: str) -> str:
     return _read(argument)
 
 
+def _add_fastpath_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--fastpath",
+        action="store_true",
+        help="use the bytes-native accelerated engine core (REPRO_FASTPATH overrides)",
+    )
+
+
 def _add_memory_budget_argument(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--memory-budget",
@@ -122,7 +130,9 @@ def _cmd_run(args) -> int:
         return 2
     session = FluxSession(
         _load_schema(args),
-        options=ExecutionOptions(memory_budget=args.memory_budget),
+        options=ExecutionOptions(
+            memory_budget=args.memory_budget, fastpath=True if args.fastpath else None
+        ),
     )
     prepared = session.prepare(
         _resolve_query(args.query), projection=not args.no_projection
@@ -154,7 +164,10 @@ def _cmd_multirun(args) -> int:
         return 2
 
     session = FluxSession(
-        schema, options=ExecutionOptions(memory_budget=args.memory_budget)
+        schema,
+        options=ExecutionOptions(
+            memory_budget=args.memory_budget, fastpath=True if args.fastpath else None
+        ),
     )
     queries = {}
     names = []
@@ -224,7 +237,10 @@ def _print_multirun_stats(run, names) -> None:
 def _cmd_compare(args) -> int:
     schema = _load_schema(args)
     query = _resolve_query(args.query)
-    document = _read(args.document) if not args.document.lstrip().startswith("<") else args.document
+    # A path is handed to each engine as-is: every engine resolves document
+    # sources itself (the FluX pipeline reads it incrementally -- mmap on
+    # the fast path -- instead of one whole-file read here).
+    document = args.document
 
     flux = FluxEngine(query, schema).run(document, collect_output=True)
     naive = NaiveDomEngine(query).run(document)
@@ -266,7 +282,10 @@ def _cmd_xmark(args) -> int:
     document = generate_document(config_for_scale(args.scale, seed=args.seed))
     query = BENCHMARK_QUERIES[args.query]
     session = FluxSession(
-        schema, options=ExecutionOptions(memory_budget=args.memory_budget)
+        schema,
+        options=ExecutionOptions(
+            memory_budget=args.memory_budget, fastpath=True if args.fastpath else None
+        ),
     )
     result = session.prepare(query, projection=not args.no_projection).execute(
         document, collect_output=not args.discard_output
@@ -362,6 +381,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="disable the pre-executor projection filter (for comparisons)",
     )
+    _add_fastpath_argument(run_parser)
     _add_memory_budget_argument(run_parser)
     run_parser.set_defaults(handler=_cmd_run)
 
@@ -389,6 +409,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="disable every query's projection filter in the merged pass",
     )
+    _add_fastpath_argument(multirun_parser)
     _add_memory_budget_argument(multirun_parser)
     multirun_parser.add_argument(
         "--stats",
@@ -426,6 +447,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="disable the pre-executor projection filter (for comparisons)",
     )
+    _add_fastpath_argument(xmark_parser)
     _add_memory_budget_argument(xmark_parser)
     xmark_parser.set_defaults(handler=_cmd_xmark)
 

@@ -14,6 +14,11 @@ execution path the repo has grown:
 * a **bounded-memory** run with a budget of half the query's unbounded
   buffer peak -- small enough that any query that buffers at all is forced
   to spill -- plus a bounded multi-query pass sharing one governor,
+* the **fast path** (:mod:`repro.fastpath`): options-selected accelerated
+  runs -- collected, bounded-memory (same halved budget) and push-mode with
+  *byte* chunks split mid-multibyte-UTF-8 and mid-markup -- plus a
+  fast-path variant of every multi-query pass; output bytes and the logical
+  peak-buffer statistics must match the classic pipeline exactly,
 * the **session/feed path**: a :class:`~repro.core.session.FluxSession`
   prepares every query through the plan cache and executes it in **push
   mode** (``open_run``/``feed``/``finish``) twice, with the document split
@@ -48,6 +53,7 @@ from typing import Dict, List, Optional, Tuple
 from repro.baselines import NaiveDomEngine, ProjectionDomEngine
 from repro.conformance.cases import Case
 from repro.core.api import load_dtd
+from repro.core.options import ExecutionOptions
 from repro.core.session import FluxSession
 from repro.dtd.validator import validate_document
 from repro.engine.engine import FluxEngine
@@ -357,6 +363,57 @@ class Oracle:
                 )
             )
 
+        # --- fast path: bytes-native accelerated core --------------------
+        # The same engine, options-selected: collected output, logical
+        # peak-buffer statistics and bounded-memory behaviour must all be
+        # indistinguishable from the classic pipeline.
+        fast_options = ExecutionOptions(fastpath=True, expand_attrs=expand)
+        try:
+            fast = engine.execute(case.document, options=fast_options)
+        except Exception as exc:  # noqa: BLE001
+            record(Divergence(name, "fastpath-collect", f"run crashed: {exc!r}"))
+            return expected, peak
+        if fast.output != expected:
+            record(Divergence(name, "fastpath-collect", _diff(expected, fast.output)))
+        self._check_balanced(name, "fastpath-collect", fast.stats, record)
+        if fast.stats.peak_buffered_bytes != peak:
+            record(
+                Divergence(
+                    name,
+                    "fastpath-collect",
+                    f"fast-path peak {fast.stats.peak_buffered_bytes}B != "
+                    f"classic peak {peak}B",
+                )
+            )
+        try:
+            fast_bounded = engine.execute(
+                case.document, options=fast_options.replace(memory_budget=budget)
+            )
+        except Exception as exc:  # noqa: BLE001
+            record(Divergence(name, "fastpath-bounded", f"run crashed: {exc!r}"))
+            return expected, peak
+        if fast_bounded.output != expected:
+            record(Divergence(name, "fastpath-bounded", _diff(expected, fast_bounded.output)))
+        self._check_balanced(name, "fastpath-bounded", fast_bounded.stats, record)
+        if fast_bounded.stats.peak_resident_bytes > budget:
+            record(
+                Divergence(
+                    name,
+                    "fastpath-bounded",
+                    f"resident {fast_bounded.stats.peak_resident_bytes}B exceeds "
+                    f"the {budget}B budget",
+                )
+            )
+        if fast_bounded.stats.peak_buffered_bytes != peak:
+            record(
+                Divergence(
+                    name,
+                    "fastpath-bounded",
+                    f"logical peak {fast_bounded.stats.peak_buffered_bytes}B != "
+                    f"unbounded classic peak {peak}B",
+                )
+            )
+
         # --- session push mode at adversarial chunk splits ---------------
         try:
             prepared = session.prepare(source)
@@ -388,6 +445,43 @@ class Oracle:
                     )
                 )
 
+        # --- fast-path push mode: byte chunks, mid-multibyte splits -------
+        # Byte feeds are the fast path's zero-copy entry.  A stride of 3
+        # bytes guarantees every multi-byte UTF-8 sequence in the document
+        # is split mid-sequence at least once; the markup family re-runs
+        # the hostile truncated-tag splits through the byte scanner.
+        encoded = case.document.encode("utf-8")
+        for label, byte_chunks in (
+            (
+                "fastpath-feed-bytes-markup",
+                [chunk.encode("utf-8") for chunk in _split_at_markup(case.document)],
+            ),
+            (
+                "fastpath-feed-bytes-stride-3",
+                [encoded[i : i + 3] for i in range(0, len(encoded), 3)],
+            ),
+        ):
+            try:
+                run = prepared.open_run(options=fast_options)
+                for chunk in byte_chunks:
+                    run.feed(chunk)
+                fed = run.finish()
+            except Exception as exc:  # noqa: BLE001
+                record(Divergence(name, label, f"feed run crashed: {exc!r}"))
+                return expected, peak
+            if fed.output != expected:
+                record(Divergence(name, label, _diff(expected, fed.output)))
+            self._check_balanced(name, label, fed.stats, record)
+            if fed.stats.peak_buffered_bytes != peak:
+                record(
+                    Divergence(
+                        name,
+                        label,
+                        f"fast-path push-mode peak {fed.stats.peak_buffered_bytes}B != "
+                        f"pull-mode peak {peak}B (chunking must not change buffering)",
+                    )
+                )
+
         report.output_bytes += len(expected)
         report.peak_buffered_bytes = max(report.peak_buffered_bytes, peak)
         report.buffered = report.buffered or peak > 0
@@ -410,8 +504,12 @@ class Oracle:
         if any(solo_peaks.values()):
             total_peak = sum(solo_peaks.values())
             budgets.append(max(self.min_budget_bytes, total_peak // 2))
-        for budget in budgets:
+        # Every budget configuration runs through both scan implementations:
+        # the classic merged projector and the fast path's shared byte scan.
+        for budget, fast in [(b, f) for b in budgets for f in (False, True)]:
             label = "multiquery" if budget is None else f"multiquery-bounded({budget}B)"
+            if fast:
+                label = f"{label}-fastpath"
             try:
                 # Sharing the case session's plan cache skips recompiling
                 # every query per budget pass (keys embed the fingerprint).
@@ -419,7 +517,9 @@ class Oracle:
                     schema, memory_budget=budget, plan_cache=session.cache
                 ) as bounded_session:
                     run = bounded_session.prepare_many(case.query_map).execute(
-                        case.document, expand_attrs=case.expand_attrs
+                        case.document,
+                        expand_attrs=case.expand_attrs,
+                        fastpath=True if fast else None,
                     )
             except Exception as exc:  # noqa: BLE001
                 record(Divergence("*", label, f"shared pass crashed: {exc!r}"))

@@ -47,6 +47,14 @@ class ExecutionOptions:
         budget.
     chunk_size:
         Read size for pull-mode document sources.
+    fastpath:
+        Request the bytes-native accelerated engine core
+        (:mod:`repro.fastpath`) for this run.  ``None`` (the default) means
+        "not requested" -- the classic pipeline runs unless the
+        ``REPRO_FASTPATH`` environment variable forces the fast path on.
+        ``REPRO_FASTPATH=0`` overrides ``True`` (kill switch), and runs the
+        fast path cannot serve (``expand_attrs``) silently fall back to the
+        classic pipeline.  Results are byte-identical either way.
     """
 
     collect_output: bool = True
@@ -54,6 +62,7 @@ class ExecutionOptions:
     memory_budget: Optional[int] = None
     memory_page_bytes: Optional[int] = None
     chunk_size: int = DEFAULT_CHUNK_SIZE
+    fastpath: Optional[bool] = None
 
     def __post_init__(self) -> None:
         if self.memory_budget is not None and self.memory_budget <= 0:

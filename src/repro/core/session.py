@@ -393,6 +393,7 @@ class PreparedQuerySet:
             # (and closes) its own pass-scoped governor.
             memory_budget=None if shared is not None else options.memory_budget,
             memory_page_bytes=options.memory_page_bytes,
+            fastpath=options.fastpath,
         )
         if sinks is not None:
             run = engine.run_to_sinks(document, sinks, expand_attrs=options.expand_attrs)

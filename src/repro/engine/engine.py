@@ -42,6 +42,7 @@ from repro.core.options import DEFAULT_OPTIONS, ExecutionOptions
 from repro.dtd.schema import DTD, ROOT_ELEMENT
 from repro.engine.executor import ExecutionResult, StreamExecutor
 from repro.engine.plan import QueryPlan, compile_plan
+from repro.fastpath import FastEventPipeline, use_fastpath
 from repro.flux.ast import FluxExpr
 from repro.flux.rewrite import RewriteResult, rewrite_to_flux
 from repro.pipeline.pipeline import EventPipeline
@@ -380,6 +381,10 @@ class FluxEngine:
         self.flux = flux
         self.plan: QueryPlan = compile_plan(flux, dtd, root_var=root_var, require_safe=require_safe)
         self.pipeline = EventPipeline(self.plan, projection=projection)
+        # The accelerated twin of ``pipeline`` (same plan, same projection
+        # automaton, bytes-native stages).  Built lazily on the first run
+        # that selects it, then engine-shared like the classic pipeline.
+        self._fast_pipeline: Optional[FastEventPipeline] = None
 
     # ----------------------------------------------------------- inspection
 
@@ -430,6 +435,27 @@ class FluxEngine:
             buffer_factory=governor.make_buffer if governor is not None else None,
         )
 
+    def _pipeline_for(self, options: ExecutionOptions):
+        """Select the document stages for one run (classic or fast path).
+
+        Selection is per run (:func:`repro.fastpath.use_fastpath`): the
+        ``REPRO_FASTPATH`` environment variable overrides, then
+        ``options.fastpath`` decides.  Both pipelines share the plan and the
+        projection automaton, so ``projection_enabled`` -- and with it the
+        executor's input-accounting mode -- agrees between them.
+        """
+        if not use_fastpath(options.fastpath, expand_attrs=options.expand_attrs):
+            return self.pipeline
+        fast = self._fast_pipeline
+        if fast is None:
+            fast = FastEventPipeline(
+                self.plan,
+                self.pipeline.projection_spec,
+                chunk_size=self.pipeline.chunk_size,
+            )
+            self._fast_pipeline = fast
+        return fast
+
     def _run_setup(self, options, sink, governor, owns_governor: bool):
         """The shared preamble of every execution shape.
 
@@ -474,7 +500,7 @@ class FluxEngine:
         )
         executor = self._executor(sink=bound_sink, stats=stats, governor=governor)
         try:
-            batches = self.pipeline.event_batches(
+            batches = self._pipeline_for(options).event_batches(
                 document,
                 expand_attrs=options.expand_attrs,
                 stats=stats,
@@ -515,7 +541,9 @@ class FluxEngine:
             options, sink, governor, owns_governor
         )
         executor = self._executor(sink=bound_sink, stats=stats, governor=governor)
-        feed = self.pipeline.open_feed(expand_attrs=options.expand_attrs, stats=stats)
+        feed = self._pipeline_for(options).open_feed(
+            expand_attrs=options.expand_attrs, stats=stats
+        )
         return RunHandle(
             executor, feed, governor=governor, owns_governor=owned, on_finish=on_finish
         )
@@ -534,7 +562,7 @@ class FluxEngine:
             options, FragmentSink(), governor, owns_governor
         )
         executor = self._executor(sink=sink, stats=stats, governor=governor)
-        batches = self.pipeline.event_batches(
+        batches = self._pipeline_for(options).event_batches(
             document,
             expand_attrs=options.expand_attrs,
             stats=stats,

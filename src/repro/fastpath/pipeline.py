@@ -1,0 +1,182 @@
+"""Fast-path mirrors of the classic pipeline surfaces.
+
+:class:`FastEventPipeline` is interchangeable with
+:class:`~repro.pipeline.pipeline.EventPipeline` from the engine's point of
+view -- same ``event_batches`` / ``open_feed`` signatures, same
+``projection_enabled`` contract, same statistics protocol (pre-drop input
+accounting when projection is active) -- but the document stages underneath
+are the bytes-native scanner and the flat-table filter instead of
+tokenize/coalesce/project over event dataclasses.  The executor boundary
+stays unchanged: every yielded batch is a list of classic
+:class:`~repro.xmlstream.events.Event` objects, materialized lazily from
+the struct-of-arrays rows of the survivors.
+
+The interning state (:class:`~repro.fastpath.tags.TagTable` and
+:class:`~repro.fastpath.dfa.FlatProjectionTable`) lives on the pipeline and
+is shared by all runs of the owning engine, so steady-state documents hit a
+warm table.  ``expand_attrs`` is *not* supported here -- the attribute
+expansion rewrites tag vocabulary mid-stream; engines route such runs to
+the classic pipeline instead (see :func:`repro.fastpath.use_fastpath`).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional
+
+from repro.engine.plan import QueryPlan
+from repro.fastpath.dfa import table_for_spec
+from repro.fastpath.scanner import ByteScanner
+from repro.fastpath.source import resolve_bytes_source
+from repro.fastpath.tags import TagTable
+from repro.pipeline.projection import ProjectionSpec
+from repro.xmlstream.events import Event
+from repro.xmlstream.parser import DEFAULT_CHUNK_SIZE, DocumentSource
+
+
+class FastEventPipeline:
+    """Bytes-native document stages of one compiled plan (engine-shared)."""
+
+    def __init__(
+        self,
+        plan: QueryPlan,
+        projection_spec: Optional[ProjectionSpec] = None,
+        *,
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+    ):
+        self.plan = plan
+        self.chunk_size = chunk_size
+        # The spec is shared with the engine's classic pipeline (already
+        # triviality-filtered there), so both paths delegate to one warm
+        # automaton and agree on ``projection_enabled``.
+        self._projection_spec = projection_spec
+        self.tags = TagTable()
+        self.table = table_for_spec(projection_spec, self.tags)
+
+    @property
+    def projection_enabled(self) -> bool:
+        """Whether a (non-trivial) projection filter is active."""
+        return self._projection_spec is not None
+
+    @property
+    def projection_spec(self) -> Optional[ProjectionSpec]:
+        """The classic automaton the flat table delegates to (``None`` when bypassed)."""
+        return self._projection_spec
+
+    # -------------------------------------------------------------- batches
+
+    def event_batches(
+        self,
+        document: DocumentSource,
+        *,
+        expand_attrs: bool = False,
+        stats=None,
+        chunk_size: Optional[int] = None,
+    ) -> Iterator[List[Event]]:
+        """The fully-staged batch stream for one document (pull mode).
+
+        In-memory and file-backed sources are scanned in place (files via
+        ``mmap``); streaming sources feed the scanner chunk-wise.  Input
+        accounting mirrors the classic pipeline: with projection active and
+        ``stats`` given, pre-drop totals are recorded here, otherwise the
+        executor counts the (unfiltered) events itself.
+        """
+        if expand_attrs:
+            raise ValueError(
+                "the fast path does not support expand_attrs; use the classic pipeline"
+            )
+        size = chunk_size if chunk_size is not None else self.chunk_size
+        record = stats if self.projection_enabled else None
+        return self._generate(document, size, record)
+
+    def _generate(self, document, size: int, record) -> Iterator[List[Event]]:
+        scanner = ByteScanner(self.tags, self.table)
+        kind, source, closer = resolve_bytes_source(document, size)
+        try:
+            if kind == "buffer":
+                for batch in scanner.scan_document(source, size):
+                    if record is not None and batch.seen:
+                        record.record_input(batch.seen, batch.cost)
+                    events = batch.materialize()
+                    if events:
+                        yield events
+            else:
+                for chunk in source:
+                    batch = scanner.feed_batch(chunk)
+                    if record is not None and batch.seen:
+                        record.record_input(batch.seen, batch.cost)
+                    events = batch.materialize()
+                    if events:
+                        yield events
+                batch = scanner.close_batch()
+                if record is not None and batch.seen:
+                    record.record_input(batch.seen, batch.cost)
+                events = batch.materialize()
+                if events:
+                    yield events
+        finally:
+            closer()
+
+    # ------------------------------------------------------------- push mode
+
+    def open_feed(self, *, expand_attrs: bool = False, stats=None) -> "FastPipelineFeed":
+        """Open an incremental (push-mode) instance of the document stages."""
+        if expand_attrs:
+            raise ValueError(
+                "the fast path does not support expand_attrs; use the classic pipeline"
+            )
+        return FastPipelineFeed(self, stats=stats)
+
+
+class FastPipelineFeed:
+    """One in-flight push-mode pass over the bytes-native stages.
+
+    API-compatible with :class:`~repro.pipeline.pipeline.PipelineFeed`:
+    ``feed`` accepts text or byte chunks cut at arbitrary points (bytes are
+    the zero-copy path -- they go straight to the scanner, never through a
+    decoder), ``finish`` flushes and validates, ``pending_bytes`` guards
+    the text-after-partial-UTF-8 case.
+    """
+
+    __slots__ = ("_scanner", "_stats", "_record", "_finished")
+
+    def __init__(self, pipeline: FastEventPipeline, *, stats=None):
+        self._scanner = ByteScanner(pipeline.tags, pipeline.table)
+        self._record = stats is not None and pipeline.projection_enabled
+        self._stats = stats
+        self._finished = False
+
+    @property
+    def pending_bytes(self) -> bool:
+        """Whether a fed chunk left a partial UTF-8 sequence pending."""
+        return self._scanner.pending_bytes
+
+    def feed(self, chunk) -> List[Event]:
+        """Stage one chunk; returns the events that became complete."""
+        if self._finished:
+            raise RuntimeError("this feed is finished; open a new one")
+        if isinstance(chunk, str):
+            if self._scanner.pending_bytes:
+                raise ValueError(
+                    "cannot feed text while a partial UTF-8 sequence from a "
+                    "previous byte chunk is pending; feed the remaining bytes first"
+                )
+            data = chunk.encode("utf-8")
+        else:
+            data = bytes(chunk)
+        batch = self._scanner.feed_batch(data)
+        if self._record and batch.seen:
+            self._stats.record_input(batch.seen, batch.cost)
+        return batch.materialize()
+
+    def finish(self) -> List[Event]:
+        """Signal end of input; returns (and stages) any remaining events."""
+        if self._finished:
+            return []
+        self._finished = True
+        batch = self._scanner.close_batch()
+        if self._record and batch.seen:
+            self._stats.record_input(batch.seen, batch.cost)
+        return batch.materialize()
+
+
+__all__ = ["FastEventPipeline", "FastPipelineFeed"]

@@ -1,0 +1,140 @@
+"""Integer interning of tag names for the bytes-native fast path.
+
+The classic tokenizer interns tag *events*; the fast path goes one step
+further and interns tag *names* into dense integer ids.  Everything
+downstream -- the struct-of-arrays batches, the flat projection table, the
+per-element well-formedness stack -- then works on small ints instead of
+strings, and the shared :class:`~repro.xmlstream.events.StartElement` /
+:class:`~repro.xmlstream.events.EndElement` objects are built exactly once
+per distinct tag.
+
+A :class:`TagTable` is owned by one engine (or one multi-query fan-out) and
+shared by all of its runs; real vocabularies are tiny, so the table warms up
+within the first few kilobytes of the first document.  A hard cap
+(:data:`TAG_TABLE_LIMIT`) guards against adversarial documents with
+unbounded tag sets: tags past the cap are *not* interned -- the scanner
+falls back to span-carrying rows for them (see
+:mod:`repro.fastpath.scanner`), so memory stays bounded at the cost of
+per-occurrence parsing, which is exactly the classic tokenizer's behaviour
+once its caches are full.
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+from typing import Dict, List, Optional
+
+from repro.xmlstream.errors import XMLSyntaxError
+from repro.xmlstream.events import EndElement, StartElement
+from repro.xmlstream.tokenizer import _is_name_char, _is_name_start
+
+#: Upper bound on interned tags; mirrors the classic tokenizer's cache cap
+#: in spirit (bounded memory on adversarial vocabularies), but must not
+#: evict -- ids are baked into batches and the flat projection table.
+TAG_TABLE_LIMIT = 1 << 16
+
+#: Sentinel id for tags past the cap (never a valid index).
+UNINTERNED = -1
+
+#: A complete, ASCII-only XML name (the overwhelmingly common case).
+_ASCII_NAME_RE = re.compile(rb"[A-Za-z_:][A-Za-z0-9_:.\-]*\Z")
+
+
+def valid_name(name: str) -> bool:
+    """Whether ``name`` is a well-formed tag name (classic tokenizer rules)."""
+    if not name or not _is_name_start(name[0]):
+        return False
+    return all(_is_name_char(char) for char in name[1:])
+
+
+class TagTable:
+    """Dense ``bytes`` -> ``int`` interning of tag names (engine-shared).
+
+    ``ids`` maps raw name bytes (plus whitespace-padded aliases added by the
+    scanner) to ids; ``names`` / ``start_events`` / ``end_events`` /
+    ``start_costs`` / ``end_costs`` are indexed by id.  Lookups are
+    lock-free; the miss path takes a lock so concurrent runs can share one
+    table.
+    """
+
+    __slots__ = (
+        "ids",
+        "names",
+        "start_events",
+        "end_events",
+        "start_costs",
+        "end_costs",
+        "end_pats",
+        "limit",
+        "_lock",
+    )
+
+    def __init__(self, limit: int = TAG_TABLE_LIMIT):
+        self.ids: Dict[bytes, int] = {}
+        self.names: List[str] = []
+        self.start_events: List[StartElement] = []
+        self.end_events: List[EndElement] = []
+        self.start_costs: List[int] = []  # classic StartElement.cost_in_bytes()
+        self.end_costs: List[int] = []  # classic EndElement.cost_in_bytes()
+        self.end_pats: List[bytes] = []  # b"</name>" -- the scanner's expected
+        # end tag for the open element, matched with a zero-copy startswith
+        self.limit = limit
+        self._lock = threading.Lock()
+
+    def __len__(self) -> int:
+        return len(self.names)
+
+    def intern(self, raw: bytes, offset: int = 0) -> int:
+        """Return the id of the tag named by ``raw`` (exact bytes, no padding).
+
+        Validates the name on first sight (raising :class:`XMLSyntaxError`
+        like the classic tokenizer's slow path) and returns
+        :data:`UNINTERNED` once the table is full.
+        """
+        tid = self.ids.get(raw)
+        if tid is not None:
+            return tid
+        if _ASCII_NAME_RE.match(raw):
+            name = raw.decode("ascii")
+        else:
+            try:
+                name = raw.decode("utf-8")
+            except UnicodeDecodeError as exc:
+                raise XMLSyntaxError(f"malformed tag <{raw!r}>", offset) from exc
+            if not valid_name(name):
+                raise XMLSyntaxError(f"malformed tag <{name}>", offset)
+        with self._lock:
+            tid = self.ids.get(raw)
+            if tid is not None:
+                return tid
+            if len(self.names) >= self.limit:
+                return UNINTERNED
+            tid = len(self.names)
+            self.names.append(name)
+            self.start_events.append(StartElement(name))
+            self.end_events.append(EndElement(name))
+            self.start_costs.append(len(name) + 2)
+            self.end_costs.append(len(name) + 3)
+            self.end_pats.append(b"</" + bytes(raw) + b">")
+            self.ids[raw] = tid
+            return tid
+
+    def alias(self, raw: bytes, tid: int) -> None:
+        """Map an alternate raw spelling (e.g. ``b"name "``) to an id.
+
+        Bounded: alias entries share the interning cap, so adversarial
+        padding cannot grow ``ids`` without limit.
+        """
+        with self._lock:
+            if len(self.ids) < 2 * self.limit:
+                self.ids[raw] = tid
+
+    def name_of(self, entry) -> str:
+        """Decode a well-formedness stack entry (id or raw bytes) to a name."""
+        if isinstance(entry, int):
+            return self.names[entry]
+        return entry.decode("utf-8", "replace")
+
+
+__all__ = ["TagTable", "TAG_TABLE_LIMIT", "UNINTERNED", "valid_name"]

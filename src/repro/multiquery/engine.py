@@ -27,6 +27,7 @@ from typing import Dict, List, Mapping, Optional
 from repro.engine.engine import FluxRunResult
 from repro.engine.executor import StreamExecutor
 from repro.engine.stats import RunStatistics
+from repro.fastpath import FastFanout, use_fastpath
 from repro.multiquery.registry import QueryRegistry, RegisteredQuery
 from repro.pipeline.fanout import MergedProjectionSpec, MergedStreamProjector
 from repro.pipeline.sinks import WritableSink
@@ -92,6 +93,7 @@ class MultiQueryEngine:
         memory_budget: Optional[int] = None,
         memory_page_bytes: Optional[int] = None,
         governor: Optional[MemoryGovernor] = None,
+        fastpath: Optional[bool] = None,
     ):
         self.registry = registry
         self.chunk_size = chunk_size
@@ -101,8 +103,14 @@ class MultiQueryEngine:
         #: is shared by every pass and never closed here; ``memory_budget``
         #: is ignored in its favour.
         self.governor = governor
+        #: Request the bytes-native fast path (:mod:`repro.fastpath`) for
+        #: the shared scan.  Same resolution as single-query runs: the
+        #: ``REPRO_FASTPATH`` environment variable overrides, ``None``
+        #: means off, ``expand_attrs`` passes fall back to the classic scan.
+        self.fastpath = fastpath
         self._merged: Optional[MergedProjectionSpec] = None
         self._merged_version = -1
+        self._fast_fanout: Optional[FastFanout] = None
 
     # ------------------------------------------------------------- merged spec
 
@@ -115,7 +123,17 @@ class MultiQueryEngine:
                 [entry.projection_spec for entry in self.registry]
             )
             self._merged_version = self.registry.version
+            self._fast_fanout = None
         return self._merged
+
+    def _fanout(self) -> FastFanout:
+        """Fast-path fan-out state for the current merged spec (cached)."""
+        spec = self.merged_spec()
+        fanout = self._fast_fanout
+        if fanout is None or fanout.spec is not spec:
+            fanout = FastFanout(spec)
+            self._fast_fanout = fanout
+        return fanout
 
     # --------------------------------------------------------------- execution
 
@@ -187,22 +205,28 @@ class MultiQueryEngine:
         executors: List[StreamExecutor] = [
             executor_for(entry, stats, factory) for entry, stats in zip(entries, stats_list)
         ]
-        projector = MergedStreamProjector(spec, stats_list)
-        batches = coalesce_batches(
-            iter_event_batches(
-                document,
-                expand_attrs=expand_attrs,
-                document_events=False,
-                chunk_size=self.chunk_size,
+        if use_fastpath(self.fastpath, expand_attrs=expand_attrs):
+            # Shared bytes-native scan: project through the flat merged
+            # table and materialize each query's sub-stream directly.
+            split_batches = self._fanout().split_batches(
+                document, self.chunk_size, stats_list
             )
-        )
+        else:
+            projector = MergedStreamProjector(spec, stats_list)
+            batches = coalesce_batches(
+                iter_event_batches(
+                    document,
+                    expand_attrs=expand_attrs,
+                    document_events=False,
+                    chunk_size=self.chunk_size,
+                )
+            )
+            split_batches = map(projector.split_batch, batches)
 
         try:
             for executor in executors:
                 executor.begin()
-            split = projector.split_batch
-            for batch in batches:
-                subs = split(batch)
+            for subs in split_batches:
                 for executor, sub in zip(executors, subs):
                     if sub:
                         executor.process_batch(sub)

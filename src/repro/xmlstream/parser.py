@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import codecs
 import io
+import mmap
 import os
 from typing import Iterable, Iterator, List, Union
 
@@ -37,13 +38,39 @@ DocumentSource = Union[str, bytes, os.PathLike, io.IOBase, Iterable[str]]
 
 
 def _chunks_from_path(path: Union[str, os.PathLike], chunk_size: int) -> Iterator[str]:
-    """Read a file in bounded chunks (shared by the str and PathLike cases)."""
-    with open(path, "r", encoding="utf-8") as handle:
-        while True:
-            chunk = handle.read(chunk_size)
-            if not chunk:
-                return
+    """Decode a file in bounded chunks over a read-only ``mmap``.
+
+    Mapping the file lets the page cache serve the bytes directly (no
+    buffered-reader copies); decoding stays incremental, so multi-byte code
+    points straddling a chunk boundary are handled and memory stays flat.
+    Empty files (``mmap`` rejects length zero) and unmappable handles fall
+    back to a plain read.
+    """
+    with open(path, "rb") as handle:
+        try:
+            mapped = mmap.mmap(handle.fileno(), 0, access=mmap.ACCESS_READ)
+        except (ValueError, OSError):
+            text = handle.read().decode("utf-8")
+            if text:
+                yield text
+            return
+        try:
+            yield from _decode_buffer_chunks(mapped, chunk_size)
+        finally:
+            mapped.close()
+
+
+def _decode_buffer_chunks(buffer, chunk_size: int) -> Iterator[str]:
+    """Incrementally decode an in-memory byte buffer in bounded chunks."""
+    decoder = codecs.getincrementaldecoder("utf-8")()
+    length = len(buffer)
+    for start in range(0, length, chunk_size):
+        chunk = decoder.decode(buffer[start : start + chunk_size])
+        if chunk:
             yield chunk
+    tail = decoder.decode(b"", final=True)
+    if tail:
+        yield tail
 
 
 def _chunks_from_text(text: str, chunk_size: int) -> Iterator[str]:
@@ -81,7 +108,8 @@ def _chunks_from_source(source: DocumentSource, chunk_size: int) -> Iterator[str
             yield from _chunks_from_path(source, chunk_size)
         return
     if isinstance(source, (bytes, bytearray)):
-        yield from _chunks_from_text(bytes(source).decode("utf-8"), chunk_size)
+        # Incremental decode per chunk -- never one whole-document str copy.
+        yield from _decode_buffer_chunks(source, chunk_size)
         return
     if isinstance(source, os.PathLike):
         yield from _chunks_from_path(source, chunk_size)

@@ -65,6 +65,9 @@ _NAME_EXTRA = set("_:.-")
 
 #: Upper bound on the interned-tag caches; real vocabularies are far smaller,
 #: the cap only guards against adversarial documents with unbounded tag sets.
+#: When it is reached the caches evict their oldest entry (insertion order)
+#: instead of refusing new ones, so a hostile prefix of one-shot tag names
+#: cannot permanently disable interning for the rest of the document.
 _TAG_CACHE_LIMIT = 4096
 
 
@@ -74,6 +77,57 @@ def _is_name_start(char: str) -> bool:
 
 def _is_name_char(char: str) -> bool:
     return char.isalnum() or char in _NAME_EXTRA
+
+
+def parse_tag_body(raw_tag: str, here: int = 0):
+    """Parse the inside of a start tag: ``name, [(attr, value), ...]``.
+
+    Shared by the classic tokenizer's slow path and the fast path's lazy
+    event materialization, so attribute-bearing tags raise identical errors
+    and produce identical events on both paths.  ``here`` is the offset
+    reported in errors.
+    """
+    raw_tag = raw_tag.strip()
+    if not raw_tag:
+        raise XMLSyntaxError("empty tag", here)
+    i = 0
+    if not _is_name_start(raw_tag[0]):
+        raise XMLSyntaxError(f"malformed tag <{raw_tag}>", here)
+    while i < len(raw_tag) and _is_name_char(raw_tag[i]):
+        i += 1
+    name = raw_tag[:i]
+    attributes = []
+    rest = raw_tag[i:]
+    j = 0
+    while j < len(rest):
+        if rest[j].isspace():
+            j += 1
+            continue
+        # attribute name
+        start = j
+        while j < len(rest) and _is_name_char(rest[j]):
+            j += 1
+        attr_name = rest[start:j]
+        if not attr_name:
+            raise XMLSyntaxError(f"malformed attribute in <{raw_tag}>", here)
+        while j < len(rest) and rest[j].isspace():
+            j += 1
+        if j >= len(rest) or rest[j] != "=":
+            raise XMLSyntaxError(f"attribute {attr_name!r} without value", here)
+        j += 1
+        while j < len(rest) and rest[j].isspace():
+            j += 1
+        if j >= len(rest) or rest[j] not in "\"'":
+            raise XMLSyntaxError(f"attribute {attr_name!r} value must be quoted", here)
+        quote = rest[j]
+        j += 1
+        end = rest.find(quote, j)
+        if end == -1:
+            raise XMLSyntaxError(f"unterminated attribute value for {attr_name!r}", here)
+        value = decode_entities(rest[j:end], here)
+        attributes.append((attr_name, value))
+        j = end + 1
+    return name, attributes
 
 
 def decode_entities(text: str, offset: int = 0) -> str:
@@ -252,8 +306,13 @@ class Tokenizer:
                     event = end_cache.get(name)
                     if event is None:
                         event = EndElement(name)
-                        if len(end_cache) < _TAG_CACHE_LIMIT:
-                            end_cache[name] = event
+                        if len(end_cache) >= _TAG_CACHE_LIMIT:
+                            # Evict the oldest entry instead of freezing the
+                            # cache: an adversarial unbounded vocabulary then
+                            # degrades to re-parsing, never to unbounded
+                            # memory or a permanently cold cache.
+                            del end_cache[next(iter(end_cache))]
+                        end_cache[name] = event
                     append(event)
                 else:
                     self._pos = pos
@@ -358,12 +417,15 @@ class Tokenizer:
                 end_event = end_cache.get(name)
                 if end_event is None:
                     end_event = EndElement(name)
-                    if len(end_cache) < _TAG_CACHE_LIMIT:
-                        end_cache[name] = end_event
+                    if len(end_cache) >= _TAG_CACHE_LIMIT:
+                        del end_cache[next(iter(end_cache))]
+                    end_cache[name] = end_event
                 append(end_event)
             else:
                 stack.append(name)
-                if not attributes and len(start_cache) < _TAG_CACHE_LIMIT:
+                if not attributes:
+                    if len(start_cache) >= _TAG_CACHE_LIMIT:
+                        del start_cache[next(iter(start_cache))]
                     start_cache[raw_tag] = event
             continue
 
@@ -384,47 +446,7 @@ class Tokenizer:
         return EndElement(name)
 
     def _parse_tag_content(self, raw_tag: str):
-        raw_tag = raw_tag.strip()
-        if not raw_tag:
-            raise XMLSyntaxError("empty tag", self._here())
-        i = 0
-        if not _is_name_start(raw_tag[0]):
-            raise XMLSyntaxError(f"malformed tag <{raw_tag}>", self._here())
-        while i < len(raw_tag) and _is_name_char(raw_tag[i]):
-            i += 1
-        name = raw_tag[:i]
-        attributes = []
-        rest = raw_tag[i:]
-        j = 0
-        while j < len(rest):
-            if rest[j].isspace():
-                j += 1
-                continue
-            # attribute name
-            start = j
-            while j < len(rest) and _is_name_char(rest[j]):
-                j += 1
-            attr_name = rest[start:j]
-            if not attr_name:
-                raise XMLSyntaxError(f"malformed attribute in <{raw_tag}>", self._here())
-            while j < len(rest) and rest[j].isspace():
-                j += 1
-            if j >= len(rest) or rest[j] != "=":
-                raise XMLSyntaxError(f"attribute {attr_name!r} without value", self._here())
-            j += 1
-            while j < len(rest) and rest[j].isspace():
-                j += 1
-            if j >= len(rest) or rest[j] not in "\"'":
-                raise XMLSyntaxError(f"attribute {attr_name!r} value must be quoted", self._here())
-            quote = rest[j]
-            j += 1
-            end = rest.find(quote, j)
-            if end == -1:
-                raise XMLSyntaxError(f"unterminated attribute value for {attr_name!r}", self._here())
-            value = decode_entities(rest[j:end], self._here())
-            attributes.append((attr_name, value))
-            j = end + 1
-        return name, attributes
+        return parse_tag_body(raw_tag, self._here())
 
 
 def tokenize(text: str, *, strip_whitespace: bool = True, report_document_events: bool = True) -> Iterator[Event]:

@@ -1,0 +1,418 @@
+"""The bytes-native fast path: scanner, SoA batches, flat DFA, selection.
+
+Covers the accelerated-engine-core tentpole and its satellites:
+
+* scanner <-> classic-tokenizer round trips on handcrafted documents
+  (entities, CDATA, comments, PIs, DOCTYPE, self-closing tags, attributes,
+  multi-byte UTF-8, NBSP-only text, padded tag names) and on randomized
+  documents,
+* the flat integer transition table versus the classic dict-memoized
+  projection automaton on randomized tag streams, single- and multi-query,
+* push-mode byte feeds split at every small stride (including
+  mid-multibyte-UTF-8) versus pull mode,
+* the ``mmap`` file ingest of both pipelines,
+* selection semantics (``REPRO_FASTPATH`` / ``ExecutionOptions.fastpath``
+  / ``expand_attrs`` fallback),
+* bounded behaviour on adversarial unbounded tag vocabularies: the
+  TagTable overflow path and the classic tokenizer's FIFO cache eviction.
+"""
+
+import random
+
+import pytest
+
+import repro.xmlstream.tokenizer as tokenizer_module
+from repro.core import FluxSession
+from repro.core.options import ExecutionOptions
+from repro.fastpath import (
+    ByteScanner,
+    FastEventPipeline,
+    TagTable,
+    fastpath_mode,
+    table_for_spec,
+    use_fastpath,
+)
+from repro.fastpath.batch import KIND_MASK, STATE_SHIFT, TAG_MASK, TAG_SHIFT
+from repro.multiquery.engine import MultiQueryEngine
+from repro.multiquery.registry import QueryRegistry
+from repro.pipeline.stages import coalesce_batches
+from repro.xmlstream.errors import XMLWellFormednessError
+from repro.xmlstream.parser import iter_event_batches
+from repro.xmlstream.tokenizer import Tokenizer
+
+BIB_DTD = """
+<!ELEMENT bib (book)*>
+<!ELEMENT book (title,author+,publisher,price)>
+<!ELEMENT title (#PCDATA)>
+<!ELEMENT author (#PCDATA)>
+<!ELEMENT publisher (#PCDATA)>
+<!ELEMENT price (#PCDATA)>
+"""
+
+TITLES = "<titles>{ for $b in $ROOT/bib/book return $b/title }</titles>"
+AUTHORS = "<authors>{ for $b in $ROOT/bib/book return $b/author }</authors>"
+
+DOC = (
+    "<bib>"
+    "<book><title>Café Str&amp;eams</title><author>Koch</author>"
+    "<publisher>V</publisher><price>5</price></book>"
+    "<book><title><![CDATA[raw <x>]]></title><author>B&#233;</author>"
+    "<author>Z</author><publisher>W</publisher><price>7</price></book>"
+    "</bib>"
+)
+
+
+# ---------------------------------------------------------------------------
+# Helpers
+
+
+def classic_events(document):
+    """The classic pipeline's flat event stream (tokenize + coalesce)."""
+    flat = []
+    for batch in coalesce_batches(
+        iter_event_batches(document, document_events=False)
+    ):
+        flat.extend(batch)
+    return flat
+
+
+def fast_events(document, chunk_size=64 * 1024, tags=None):
+    """The scanner's flat event stream through the identity (keep-all) table."""
+    tags = tags if tags is not None else TagTable()
+    scanner = ByteScanner(tags, table_for_spec(None, tags))
+    data = document.encode("utf-8") if isinstance(document, str) else document
+    flat = []
+    for batch in scanner.scan_document(data, chunk_size):
+        flat.extend(batch.materialize())
+    return flat
+
+
+# ---------------------------------------------------------------------------
+# Scanner round trips
+
+
+HANDCRAFTED_DOCUMENTS = [
+    "<a/>",
+    "<a></a>",
+    "<a>text</a>",
+    "<a>one &amp; two &lt;three&gt; &#233;</a>",
+    "<a><![CDATA[raw <markup> & entities stay ]]></a>",
+    "<a><!-- comment --><b/><!-- another --></a>",
+    "<?xml version='1.0'?><a><?pi data?></a>",
+    "<!DOCTYPE a [<!ELEMENT a (#PCDATA)>]><a>x</a>",
+    '<a key="v1" other="two words">body</a>',
+    "<a ><b\t></b\n></a >",
+    "<a>café 日本語 \U0001f600</a>",
+    "<a> </a>",
+    "<a>  pad  <b> mid </b>  tail  </a>",
+    "<root><a.b-c:d/><_x/><a1/></root>",
+    '<a attr="with &amp; entity &#65;"/>',
+    "<a>x<b/>y<b/>z</a>",
+    "<a><b><c><d><e>deep</e></d></c></b></a>",
+    "<a>t1<!-- c -->t2</a>",
+]
+
+
+@pytest.mark.parametrize("document", HANDCRAFTED_DOCUMENTS)
+def test_scanner_round_trip_handcrafted(document):
+    assert fast_events(document) == classic_events(document)
+
+
+@pytest.mark.parametrize("chunk_size", [1, 2, 3, 7, 64])
+def test_scanner_round_trip_tiny_chunks(chunk_size):
+    assert fast_events(DOC, chunk_size=chunk_size) == classic_events(DOC)
+
+
+def _random_document(rng):
+    """A random well-formed document over a mixed (partly fresh) vocabulary."""
+    vocabulary = ["alpha", "beta", "gamma", "x-y", "ns:tag"]
+    texts = ["plain", "a &amp; b", "café", " ", "  ", "&#65;BC", ""]
+    pieces = ["<root>"]
+    depth = 0
+    for _ in range(rng.randrange(4, 60)):
+        action = rng.random()
+        if action < 0.4:
+            name = rng.choice(vocabulary)
+            if rng.random() < 0.15:
+                name = f"fresh{rng.randrange(1000)}"
+            if rng.random() < 0.3:
+                pieces.append(f'<{name} k="v{rng.randrange(10)}"/>')
+            elif rng.random() < 0.4:
+                pieces.append(f"<{name}/>")
+            else:
+                pieces.append(f"<{name}>")
+                depth += 1
+                vocabulary.append(name)
+        elif action < 0.7:
+            pieces.append(rng.choice(texts))
+        elif action < 0.8 and depth > 0:
+            name = vocabulary.pop()
+            pieces.append(f"</{name}>")
+            depth -= 1
+        elif action < 0.9:
+            pieces.append("<!-- comment -->")
+        else:
+            pieces.append("<![CDATA[raw <data>]]>")
+    while depth > 0:
+        pieces.append(f"</{vocabulary.pop()}>")
+        depth -= 1
+    pieces.append("</root>")
+    return "".join(pieces)
+
+
+def test_scanner_round_trip_randomized():
+    rng = random.Random(20260807)
+    for _ in range(50):
+        document = _random_document(rng)
+        assert fast_events(document) == classic_events(document), document
+
+
+def test_scanner_round_trip_shared_table_across_documents():
+    # One engine-shared TagTable serves many documents (warm-table reuse).
+    tags = TagTable()
+    rng = random.Random(99)
+    for _ in range(10):
+        document = _random_document(rng)
+        assert fast_events(document, tags=tags) == classic_events(document)
+
+
+# ---------------------------------------------------------------------------
+# Scanner errors and push-mode protocol
+
+
+def test_scanner_rejects_mismatched_and_unclosed_tags():
+    with pytest.raises(XMLWellFormednessError):
+        fast_events("<a><b></a></b>")
+    with pytest.raises(XMLWellFormednessError):
+        fast_events("<a><b></b>")
+    with pytest.raises(XMLWellFormednessError):
+        fast_events("   ")
+    with pytest.raises(XMLWellFormednessError):
+        fast_events("<a></a><b></b>")
+
+
+@pytest.mark.parametrize("stride", [1, 2, 3, 5, 7])
+def test_push_mode_byte_feeds_match_pull(stride):
+    pulled = fast_events(DOC)
+    tags = TagTable()
+    scanner = ByteScanner(tags, table_for_spec(None, tags))
+    data = DOC.encode("utf-8")
+    fed = []
+    for start in range(0, len(data), stride):
+        fed.extend(scanner.feed_batch(data[start : start + stride]).materialize())
+    fed.extend(scanner.close_batch().materialize())
+    assert fed == pulled
+
+
+def test_pending_bytes_flags_partial_utf8_tail():
+    tags = TagTable()
+    scanner = ByteScanner(tags, table_for_spec(None, tags))
+    data = "<a>café</a>".encode("utf-8")
+    cut = data.index(b"\xc3") + 1  # mid-sequence
+    scanner.feed_batch(data[:cut])
+    assert scanner.pending_bytes
+    scanner.feed_batch(data[cut:])
+    assert not scanner.pending_bytes
+    scanner.close_batch()
+
+
+# ---------------------------------------------------------------------------
+# SoA word packing
+
+
+def test_soa_word_packing_round_trip():
+    for kind in range(6):
+        for tid in (0, 1, 77, TAG_MASK):
+            for state in (0, 3, 1 << 20):
+                word = kind | (tid << TAG_SHIFT) | (state << STATE_SHIFT)
+                assert word & KIND_MASK == kind
+                assert (word >> TAG_SHIFT) & TAG_MASK == tid
+                assert word >> STATE_SHIFT == state
+
+
+# ---------------------------------------------------------------------------
+# Flat DFA versus the classic dict automaton
+
+
+def test_flat_table_matches_classic_projection_on_random_streams():
+    with FluxSession(BIB_DTD, root_element="bib") as session:
+        engine = session.prepare(TITLES).engine
+        classic_pipeline = engine.pipeline
+        assert classic_pipeline.projection_enabled
+        fast_pipeline = FastEventPipeline(
+            engine.plan, classic_pipeline.projection_spec
+        )
+        rng = random.Random(7)
+        for _ in range(30):
+            books = []
+            for _ in range(rng.randrange(0, 6)):
+                authors = "".join(
+                    f"<author>a{rng.randrange(10)}</author>"
+                    for _ in range(rng.randrange(1, 3))
+                )
+                books.append(
+                    f"<book><title>t{rng.randrange(100)} &amp; more</title>"
+                    f"{authors}<publisher>p</publisher>"
+                    f"<price>{rng.randrange(50)}</price></book>"
+                )
+            document = f"<bib>{''.join(books)}</bib>"
+            expected = [
+                event
+                for batch in classic_pipeline.event_batches(document)
+                for event in batch
+            ]
+            actual = [
+                event
+                for batch in fast_pipeline.event_batches(document)
+                for event in batch
+            ]
+            assert actual == expected, document
+
+
+def test_fastpath_execution_is_byte_identical_with_identical_stats():
+    with FluxSession(BIB_DTD, root_element="bib") as session:
+        prepared = session.prepare(TITLES)
+        classic = prepared.execute(DOC)
+        fast = prepared.execute(DOC, options=ExecutionOptions(fastpath=True))
+        assert fast.output == classic.output
+        assert fast.stats.input_events == classic.stats.input_events
+        assert fast.stats.input_bytes == classic.stats.input_bytes
+        assert fast.stats.peak_buffered_bytes == classic.stats.peak_buffered_bytes
+        assert fast.stats.output_bytes == classic.stats.output_bytes
+
+
+def test_multiquery_fastpath_matches_classic():
+    from repro.core.api import load_dtd
+
+    def build():
+        registry = QueryRegistry(load_dtd(BIB_DTD, root_element="bib"))
+        registry.register("titles", TITLES)
+        registry.register("authors", AUTHORS)
+        return registry
+
+    classic = MultiQueryEngine(build()).run(DOC)
+    fast = MultiQueryEngine(build(), fastpath=True).run(DOC)
+    for name in classic:
+        assert fast[name].output == classic[name].output
+        assert (
+            fast[name].stats.peak_buffered_bytes
+            == classic[name].stats.peak_buffered_bytes
+        )
+
+
+# ---------------------------------------------------------------------------
+# mmap file ingest
+
+
+def test_mmap_file_ingest_both_pipelines(tmp_path):
+    path = tmp_path / "doc.xml"
+    path.write_text(DOC, encoding="utf-8")
+    with FluxSession(BIB_DTD, root_element="bib") as session:
+        prepared = session.prepare(TITLES)
+        from_text = prepared.execute(DOC)
+        classic_file = prepared.execute(str(path))
+        fast_file = prepared.execute(str(path), options=ExecutionOptions(fastpath=True))
+    assert classic_file.output == from_text.output
+    assert fast_file.output == from_text.output
+
+
+def test_empty_file_fails_cleanly_on_both_pipelines(tmp_path):
+    path = tmp_path / "empty.xml"
+    path.write_bytes(b"")
+    with FluxSession(BIB_DTD, root_element="bib") as session:
+        prepared = session.prepare(TITLES)
+        with pytest.raises(XMLWellFormednessError):
+            prepared.execute(str(path))
+        with pytest.raises(XMLWellFormednessError):
+            prepared.execute(str(path), options=ExecutionOptions(fastpath=True))
+
+
+# ---------------------------------------------------------------------------
+# Selection semantics
+
+
+def test_fastpath_mode_parses_environment(monkeypatch):
+    for raw, expected in [
+        ("0", "0"),
+        ("off", "0"),
+        ("FALSE", "0"),
+        ("1", "1"),
+        ("on", "1"),
+        ("Yes", "1"),
+        ("auto", "auto"),
+        ("", "auto"),
+        ("bogus", "auto"),
+    ]:
+        monkeypatch.setenv("REPRO_FASTPATH", raw)
+        assert fastpath_mode() == expected, raw
+    monkeypatch.delenv("REPRO_FASTPATH")
+    assert fastpath_mode() == "auto"
+
+
+def test_use_fastpath_resolution(monkeypatch):
+    monkeypatch.delenv("REPRO_FASTPATH", raising=False)
+    assert use_fastpath(None) is False
+    assert use_fastpath(False) is False
+    assert use_fastpath(True) is True
+    assert use_fastpath(True, expand_attrs=True) is False
+    monkeypatch.setenv("REPRO_FASTPATH", "1")
+    assert use_fastpath(None) is True
+    assert use_fastpath(False) is True
+    assert use_fastpath(True, expand_attrs=True) is False
+    monkeypatch.setenv("REPRO_FASTPATH", "0")
+    assert use_fastpath(True) is False
+
+
+def test_engine_selects_pipeline_per_run(monkeypatch):
+    monkeypatch.delenv("REPRO_FASTPATH", raising=False)
+    with FluxSession(BIB_DTD, root_element="bib") as session:
+        engine = session.prepare(TITLES).engine
+        assert engine._pipeline_for(ExecutionOptions()) is engine.pipeline
+        fast = engine._pipeline_for(ExecutionOptions(fastpath=True))
+        assert isinstance(fast, FastEventPipeline)
+        # expand_attrs runs always fall back to the classic pipeline.
+        assert (
+            engine._pipeline_for(ExecutionOptions(fastpath=True, expand_attrs=True))
+            is engine.pipeline
+        )
+        # The fast pipeline is engine-shared (built once).
+        assert engine._pipeline_for(ExecutionOptions(fastpath=True)) is fast
+
+
+# ---------------------------------------------------------------------------
+# Adversarial unbounded vocabularies
+
+
+def test_tag_table_overflow_stays_bounded_and_correct():
+    tags = TagTable(limit=3)
+    document = "<root>" + "".join(
+        f"<t{i}>x{i}</t{i}>" for i in range(40)
+    ) + "</root>"
+    assert fast_events(document, tags=tags) == classic_events(document)
+    assert len(tags) <= 3
+    assert len(tags.ids) <= 2 * 3  # canonical entries + padded aliases
+
+
+def test_tag_table_overflow_with_attributes_and_chunked_feed():
+    tags = TagTable(limit=2)
+    document = "<root>" + "".join(
+        f'<t{i} key="v{i}">x</t{i}>' for i in range(20)
+    ) + "</root>"
+    assert fast_events(document, chunk_size=5, tags=tags) == classic_events(document)
+    assert len(tags) <= 2
+
+
+def test_classic_tokenizer_caches_evict_fifo_not_cold_turkey(monkeypatch):
+    monkeypatch.setattr(tokenizer_module, "_TAG_CACHE_LIMIT", 8)
+    tokenizer = Tokenizer(report_document_events=False)
+    document = "<root>" + "".join(
+        f"<t{i}>x</t{i}>" for i in range(100)
+    ) + "</root>"
+    events = tokenizer.feed_batch(document)
+    events += tokenizer.close_batch()
+    assert events == classic_events(document)
+    # The caches never exceed the cap, yet keep serving the *newest* tags:
+    # FIFO eviction, not a periodic full clear.
+    assert 0 < len(tokenizer._start_cache) <= 8
+    assert 0 < len(tokenizer._end_cache) <= 8
+    assert "t99" in {event.name for event in tokenizer._end_cache.values()}
