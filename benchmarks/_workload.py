@@ -52,6 +52,32 @@ def record_row(benchmark, **fields) -> None:
     COLLECTED_ROWS.append(dict(fields))
 
 
+#: The cross-bench schema: every benchmark's headline row carries exactly
+#: these keys, whatever its own per-table schema looks like.
+SUMMARY_SCHEMA = ("name", "scale", "wall_seconds", "peak_bytes")
+
+
+def record_summary(benchmark, name: str, *, scale: float, wall_seconds: float,
+                   peak_bytes: int, **extra) -> None:
+    """One normalized headline row per benchmark.
+
+    Each bench file keeps its own detail table (``BENCH_fastpath.json``,
+    ``BENCH_bounded_memory.json``, ...), but also contributes one row here
+    under the fixed :data:`SUMMARY_SCHEMA`, all of which land together in
+    ``BENCH_summary.json`` -- trajectory tooling reads that one file
+    instead of re-learning every table's ad-hoc field names.
+    """
+    record_row(
+        benchmark,
+        table="summary",
+        name=name,
+        scale=scale,
+        wall_seconds=wall_seconds,
+        peak_bytes=peak_bytes,
+        **extra,
+    )
+
+
 def write_json_reports(directory: str = "") -> List[str]:
     """Emit one machine-readable ``BENCH_<table>.json`` per collected table.
 

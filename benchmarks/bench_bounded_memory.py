@@ -25,7 +25,7 @@ from repro import FluxEngine
 from repro.xmark.dtd import xmark_dtd
 from repro.xmark.queries import BENCHMARK_QUERIES
 
-from _workload import FIGURE4_SCALES, record_row, xmark_document
+from _workload import FIGURE4_SCALES, record_row, record_summary, xmark_document
 
 _SCALE = FIGURE4_SCALES[-1]
 _QUERIES = ("Q1", "Q8", "Q13")
@@ -80,6 +80,13 @@ def test_budget_below_peak_caps_residency(benchmark, query):
         page_faults=stats.page_faults,
         seconds=stats.elapsed_seconds,
         unbounded_seconds=unbounded.stats.elapsed_seconds,
+    )
+    record_summary(
+        benchmark,
+        f"bounded-memory-{query}",
+        scale=_SCALE,
+        wall_seconds=stats.elapsed_seconds,
+        peak_bytes=stats.peak_resident_bytes,
     )
 
 

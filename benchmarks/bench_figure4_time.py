@@ -21,7 +21,7 @@ from repro import FluxEngine, NaiveDomEngine, ProjectionDomEngine
 from repro.xmark.dtd import xmark_dtd
 from repro.xmark.queries import BENCHMARK_QUERIES
 
-from _workload import FIGURE4_SCALES, record_row, xmark_document
+from _workload import FIGURE4_SCALES, record_row, record_summary, xmark_document
 
 _QUERIES = sorted(BENCHMARK_QUERIES)
 
@@ -62,6 +62,13 @@ def test_flux_engine_time(benchmark, query, scale):
         document_bytes=len(document),
         seconds=result.stats.elapsed_seconds,
         memory_bytes=result.stats.peak_buffered_bytes,
+    )
+    record_summary(
+        benchmark,
+        f"figure4-time-{query}",
+        scale=scale,
+        wall_seconds=result.stats.elapsed_seconds,
+        peak_bytes=result.stats.peak_buffered_bytes,
     )
 
 

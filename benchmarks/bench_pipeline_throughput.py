@@ -20,7 +20,7 @@ from repro import FluxEngine
 from repro.xmark.dtd import xmark_dtd
 from repro.xmark.queries import BENCHMARK_QUERIES
 
-from _workload import FIGURE4_SCALES, record_row, xmark_document
+from _workload import FIGURE4_SCALES, record_row, record_summary, xmark_document
 
 _SCALE = FIGURE4_SCALES[min(1, len(FIGURE4_SCALES) - 1)]
 _QUERIES = sorted(BENCHMARK_QUERIES)
@@ -45,6 +45,13 @@ def test_projection_filter_throughput(benchmark, query):
         document_bytes=len(document),
         seconds=result.stats.elapsed_seconds,
         baseline_seconds=baseline.stats.elapsed_seconds,
+    )
+    record_summary(
+        benchmark,
+        f"pipeline-projection-{query}",
+        scale=_SCALE,
+        wall_seconds=result.stats.elapsed_seconds,
+        peak_bytes=result.stats.peak_buffered_bytes,
     )
 
 

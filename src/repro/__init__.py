@@ -19,6 +19,9 @@ buffering.  This package reimplements the complete system:
   parse, N queries, merged projection with membership masks),
 * :mod:`repro.storage` -- bounded-memory execution: a memory governor with
   a hard byte budget, spillable paged buffers and a temp-file spill store,
+* :mod:`repro.obs` -- observability: per-run span tracing with stage
+  breakdowns, a process-wide metrics registry, and JSONL / Prometheus-text
+  exporters (``ExecutionOptions(trace=True)`` or ``repro run --trace``),
 * :mod:`repro.baselines` -- full-materialisation and projection baselines,
 * :mod:`repro.conformance` -- randomized conformance testing: a seeded
   DTD-directed case generator, a cross-engine differential oracle, a
@@ -64,6 +67,7 @@ from repro.core import (
     FluxSession,
     FragmentSink,
     MemoryGovernor,
+    MetricsRegistry,
     MultiQueryEngine,
     MultiQueryRun,
     NaiveDomEngine,
@@ -79,15 +83,20 @@ from repro.core import (
     RunStatistics,
     SessionStatistics,
     StreamingRun,
+    TraceReport,
+    Tracer,
     WritableSink,
     compare_engines,
+    global_registry,
     compile_to_flux,
     load_dtd,
     parse_memory_budget,
+    prometheus_text,
     run_queries,
     run_query,
     run_query_streaming,
     run_query_to_sink,
+    validate_span_tree,
 )
 
 __version__ = "1.3.0"
@@ -102,6 +111,7 @@ __all__ = [
     "FluxSession",
     "FragmentSink",
     "MemoryGovernor",
+    "MetricsRegistry",
     "MultiQueryEngine",
     "MultiQueryRun",
     "NaiveDomEngine",
@@ -117,14 +127,19 @@ __all__ = [
     "RunStatistics",
     "SessionStatistics",
     "StreamingRun",
+    "TraceReport",
+    "Tracer",
     "WritableSink",
     "__version__",
     "compare_engines",
     "compile_to_flux",
+    "global_registry",
     "load_dtd",
     "parse_memory_budget",
+    "prometheus_text",
     "run_queries",
     "run_query",
     "run_query_streaming",
     "run_query_to_sink",
+    "validate_span_tree",
 ]

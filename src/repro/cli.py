@@ -24,7 +24,9 @@ FluX engine and both baselines; ``generate`` produces XMark-like documents;
 ``run``, ``multirun`` and ``xmark`` accept ``--memory-budget BYTES`` (k/m/g
 suffixes allowed): resident buffered memory is then hard-capped and cold
 buffer pages spill to a temp file, with output byte-identical to the
-unbounded run.
+unbounded run.  The same three commands accept ``--trace``, which prints a
+per-stage time/bytes/events breakdown table (:mod:`repro.obs`) to stderr
+after the run; tracing never changes the output.
 
 ``fuzz`` drives the randomized conformance harness
 (:mod:`repro.conformance`): ``--seed``/``--cases`` sweep generated
@@ -91,6 +93,17 @@ def _add_fastpath_argument(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_trace_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace",
+        action="store_true",
+        help=(
+            "trace the run and print a per-stage time/bytes/events breakdown "
+            "to stderr (REPRO_TRACE overrides); output is unchanged"
+        ),
+    )
+
+
 def _add_memory_budget_argument(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--memory-budget",
@@ -131,7 +144,9 @@ def _cmd_run(args) -> int:
     session = FluxSession(
         _load_schema(args),
         options=ExecutionOptions(
-            memory_budget=args.memory_budget, fastpath=True if args.fastpath else None
+            memory_budget=args.memory_budget,
+            fastpath=True if args.fastpath else None,
+            trace=True if args.trace else None,
         ),
     )
     prepared = session.prepare(
@@ -147,6 +162,8 @@ def _cmd_run(args) -> int:
         if not args.discard_output:
             print(result.output)
     print(result.stats.summary(), file=sys.stderr)
+    if result.trace is not None:
+        print(result.trace.table(), file=sys.stderr)
     return 0
 
 
@@ -166,7 +183,9 @@ def _cmd_multirun(args) -> int:
     session = FluxSession(
         schema,
         options=ExecutionOptions(
-            memory_budget=args.memory_budget, fastpath=True if args.fastpath else None
+            memory_budget=args.memory_budget,
+            fastpath=True if args.fastpath else None,
+            trace=True if args.trace else None,
         ),
     )
     queries = {}
@@ -202,24 +221,42 @@ def _cmd_multirun(args) -> int:
     )
     if args.stats:
         _print_multirun_stats(run, names)
+    if run.trace is not None:
+        print(run.trace.table(), file=sys.stderr)
     return 0
 
 
 def _print_multirun_stats(run, names) -> None:
     """The ``multirun --stats`` per-query summary table (to stderr)."""
-    print(
-        f"{'query':>16} {'in events':>10} {'out bytes':>10} "
-        f"{'peak buffer [B]':>16} {'peak resident [B]':>18} {'spills':>7}",
-        file=sys.stderr,
+    headers = (
+        "query", "in events", "out bytes", "peak buffer [B]",
+        "peak resident [B]", "spill bytes", "evictions",
     )
+    rows = []
     for name in names:
         stats = run[name].stats
-        print(
-            f"{name:>16} {stats.input_events:>10} {stats.output_bytes:>10} "
-            f"{stats.peak_buffered_bytes:>16} {stats.peak_resident_bytes:>18} "
-            f"{stats.spill_count:>7}",
-            file=sys.stderr,
-        )
+        rows.append((
+            name,
+            str(stats.input_events),
+            str(stats.output_bytes),
+            str(stats.peak_buffered_bytes),
+            str(stats.peak_resident_bytes),
+            str(stats.spilled_bytes_written),
+            str(stats.spill_count),
+        ))
+    widths = [
+        max(len(header), *(len(row[column]) for row in rows))
+        for column, header in enumerate(headers)
+    ]
+
+    def render(cells) -> str:
+        # The query name is the only text column; every number right-aligns.
+        rest = (cell.rjust(widths[i]) for i, cell in enumerate(cells) if i > 0)
+        return "  ".join([cells[0].ljust(widths[0]), *rest]).rstrip()
+
+    print(render(headers), file=sys.stderr)
+    for row in rows:
+        print(render(row), file=sys.stderr)
     if run.memory is not None:
         memory = run.memory
         print(
@@ -284,7 +321,9 @@ def _cmd_xmark(args) -> int:
     session = FluxSession(
         schema,
         options=ExecutionOptions(
-            memory_budget=args.memory_budget, fastpath=True if args.fastpath else None
+            memory_budget=args.memory_budget,
+            fastpath=True if args.fastpath else None,
+            trace=True if args.trace else None,
         ),
     )
     result = session.prepare(query, projection=not args.no_projection).execute(
@@ -301,9 +340,13 @@ def _cmd_xmark(args) -> int:
     if args.memory_budget is not None:
         line += (
             f" peak-resident={result.stats.peak_resident_bytes}B "
-            f"spills={result.stats.spill_count}"
+            f"spills={result.stats.spill_count} "
+            f"spill-bytes={result.stats.spilled_bytes_written}B "
+            f"evictions={result.stats.spill_count}"
         )
     print(line)
+    if result.trace is not None:
+        print(result.trace.table(), file=sys.stderr)
     return 0
 
 
@@ -383,6 +426,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_fastpath_argument(run_parser)
     _add_memory_budget_argument(run_parser)
+    _add_trace_argument(run_parser)
     run_parser.set_defaults(handler=_cmd_run)
 
     multirun_parser = subparsers.add_parser(
@@ -411,10 +455,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_fastpath_argument(multirun_parser)
     _add_memory_budget_argument(multirun_parser)
+    _add_trace_argument(multirun_parser)
     multirun_parser.add_argument(
         "--stats",
         action="store_true",
-        help="print a per-query summary table (events, peak buffered bytes, spills) after the run",
+        help=(
+            "print a per-query summary table (events, peak buffered bytes, "
+            "spill bytes, evictions) after the run"
+        ),
     )
     multirun_parser.set_defaults(handler=_cmd_multirun)
 
@@ -449,6 +497,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_fastpath_argument(xmark_parser)
     _add_memory_budget_argument(xmark_parser)
+    _add_trace_argument(xmark_parser)
     xmark_parser.set_defaults(handler=_cmd_xmark)
 
     fuzz_parser = subparsers.add_parser(

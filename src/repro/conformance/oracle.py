@@ -58,6 +58,7 @@ from repro.core.session import FluxSession
 from repro.dtd.validator import validate_document
 from repro.engine.engine import FluxEngine
 from repro.engine.stats import RunStatistics
+from repro.obs.tracer import validate_span_tree
 from repro.xmlstream.parser import iter_events, parse_tree
 
 #: Bounded runs never get a budget below this many bytes; the governor
@@ -481,6 +482,37 @@ class Oracle:
                         f"pull-mode peak {peak}B (chunking must not change buffering)",
                     )
                 )
+
+        # --- tracing must be invisible (:mod:`repro.obs`) -----------------
+        # A traced run executes instrumented stage loops; output bytes and
+        # the paper's logical buffering figure must not move, and the span
+        # tree a run leaves behind must be structurally well-formed.
+        for label, traced_options in (
+            ("traced-classic", ExecutionOptions(trace=True, expand_attrs=expand)),
+            ("traced-fastpath", fast_options.replace(trace=True)),
+        ):
+            try:
+                traced = engine.execute(case.document, options=traced_options)
+            except Exception as exc:  # noqa: BLE001
+                record(Divergence(name, label, f"traced run crashed: {exc!r}"))
+                return expected, peak
+            if traced.output != expected:
+                record(Divergence(name, label, _diff(expected, traced.output)))
+            self._check_balanced(name, label, traced.stats, record)
+            if traced.stats.peak_buffered_bytes != peak:
+                record(
+                    Divergence(
+                        name,
+                        label,
+                        f"traced peak {traced.stats.peak_buffered_bytes}B != "
+                        f"untraced peak {peak}B (tracing must not change buffering)",
+                    )
+                )
+            if traced.trace is None:
+                record(Divergence(name, label, "trace=True produced no trace report"))
+            else:
+                for problem in validate_span_tree(traced.trace.spans):
+                    record(Divergence(name, label, f"malformed span tree: {problem}"))
 
         report.output_bytes += len(expected)
         report.peak_buffered_bytes = max(report.peak_buffered_bytes, peak)

@@ -51,6 +51,14 @@ from repro.pipeline.sinks import (
     OutputSink,
     WritableSink,
 )
+from repro.obs import (
+    MetricsRegistry,
+    TraceReport,
+    Tracer,
+    global_registry,
+    prometheus_text,
+    validate_span_tree,
+)
 from repro.storage import MemoryGovernor, parse_memory_budget
 
 __all__ = [
@@ -63,6 +71,7 @@ __all__ = [
     "FluxSession",
     "FragmentSink",
     "MemoryGovernor",
+    "MetricsRegistry",
     "MultiQueryEngine",
     "MultiQueryRun",
     "NaiveDomEngine",
@@ -78,13 +87,18 @@ __all__ = [
     "RunStatistics",
     "SessionStatistics",
     "StreamingRun",
+    "TraceReport",
+    "Tracer",
     "WritableSink",
     "compare_engines",
     "compile_to_flux",
+    "global_registry",
     "load_dtd",
     "parse_memory_budget",
+    "prometheus_text",
     "run_queries",
     "run_query",
     "run_query_streaming",
     "run_query_to_sink",
+    "validate_span_tree",
 ]

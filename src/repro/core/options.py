@@ -55,6 +55,13 @@ class ExecutionOptions:
         ``REPRO_FASTPATH=0`` overrides ``True`` (kill switch), and runs the
         fast path cannot serve (``expand_attrs``) silently fall back to the
         classic pipeline.  Results are byte-identical either way.
+    trace:
+        Request per-run stage tracing (:mod:`repro.obs`): the result gains a
+        ``trace`` report with the per-stage time/bytes/events breakdown and
+        the span tree.  ``None`` (the default) defers to the ``REPRO_TRACE``
+        environment variable (``1`` forces on, ``0`` forces off, mirroring
+        ``REPRO_FASTPATH``).  Tracing never changes output bytes or the
+        logical buffering peaks -- the conformance oracle asserts this.
     """
 
     collect_output: bool = True
@@ -63,6 +70,7 @@ class ExecutionOptions:
     memory_page_bytes: Optional[int] = None
     chunk_size: int = DEFAULT_CHUNK_SIZE
     fastpath: Optional[bool] = None
+    trace: Optional[bool] = None
 
     def __post_init__(self) -> None:
         if self.memory_budget is not None and self.memory_budget <= 0:

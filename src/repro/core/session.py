@@ -54,6 +54,7 @@ from repro.engine.engine import FluxEngine, FluxRunResult, RunHandle, StreamingR
 from repro.engine.stats import RunStatistics
 from repro.flux.ast import FluxExpr
 from repro.multiquery import MultiQueryEngine, MultiQueryRun, QueryRegistry
+from repro.obs.metrics import global_registry
 from repro.storage.governor import MemoryGovernor
 from repro.xmlstream.parser import DocumentSource
 from repro.xquery.ast import ROOT_VARIABLE, XQExpr
@@ -64,6 +65,14 @@ QuerySource = Union[str, XQExpr, FluxExpr]
 
 #: Default number of compiled plans a session retains.
 DEFAULT_PLAN_CACHE_SIZE = 64
+
+# Process-wide plan-cache telemetry (:mod:`repro.obs`): totals across every
+# PlanCache instance, bumped alongside each cache's own counters -- plan
+# lookups are per prepare(), far off any hot path.
+_metrics = global_registry()
+_CACHE_HITS = _metrics.counter("repro.plan_cache.hits.total", "Plan-cache lookups served from cache")
+_CACHE_MISSES = _metrics.counter("repro.plan_cache.misses.total", "Plan-cache lookups that compiled")
+_CACHE_EVICTIONS = _metrics.counter("repro.plan_cache.evictions.total", "Plans evicted by the LRU")
 
 
 def _normalize_query(query: QuerySource) -> Tuple[str, str]:
@@ -134,12 +143,14 @@ class PlanCache:
                 if entry is not None:
                     self._entries.move_to_end(key)
                     self.hits += 1
+                    _CACHE_HITS.inc()
                     return entry
                 pending = self._building.get(key)
                 if pending is None:
                     pending = threading.Event()
                     self._building[key] = pending
                     self.misses += 1
+                    _CACHE_MISSES.inc()
                     break  # this thread builds
             pending.wait()
             # Either the entry is cached now (hit on the next loop), or the
@@ -159,6 +170,7 @@ class PlanCache:
                 while len(self._entries) > self.capacity:
                     self._entries.popitem(last=False)
                     self.evictions += 1
+                    _CACHE_EVICTIONS.inc()
             del self._building[key]
         pending.set()
         return engine
@@ -396,12 +408,15 @@ class PreparedQuerySet:
             fastpath=options.fastpath,
         )
         if sinks is not None:
-            run = engine.run_to_sinks(document, sinks, expand_attrs=options.expand_attrs)
+            run = engine.run_to_sinks(
+                document, sinks, expand_attrs=options.expand_attrs, trace=options.trace
+            )
         else:
             run = engine.run(
                 document,
                 collect_output=options.collect_output,
                 expand_attrs=options.expand_attrs,
+                trace=options.trace,
             )
         for result in run.results.values():
             self.session.statistics.absorb(result.stats)

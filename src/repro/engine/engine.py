@@ -34,6 +34,8 @@ governor.
 
 from __future__ import annotations
 
+import itertools
+import os
 import weakref
 from dataclasses import dataclass
 from typing import Iterator, Optional, Union
@@ -45,6 +47,9 @@ from repro.engine.plan import QueryPlan, compile_plan
 from repro.fastpath import FastEventPipeline, use_fastpath
 from repro.flux.ast import FluxExpr
 from repro.flux.rewrite import RewriteResult, rewrite_to_flux
+from repro.obs.export import append_jsonl
+from repro.obs.observer import Observer, TraceReport, use_tracing
+from repro.obs.runtime import record_run
 from repro.pipeline.pipeline import EventPipeline
 from repro.pipeline.sinks import FragmentSink, resolve_sink
 from repro.storage.governor import MemoryGovernor
@@ -55,10 +60,16 @@ from repro.xquery.parser import parse_query
 
 @dataclass
 class FluxRunResult:
-    """Result of running a query: output text (optional) plus statistics."""
+    """Result of running a query: output text (optional) plus statistics.
+
+    ``trace`` carries the per-stage :class:`~repro.obs.observer.TraceReport`
+    when the run executed with tracing on (``ExecutionOptions(trace=True)``
+    or ``REPRO_TRACE=1``); ``None`` otherwise.
+    """
 
     output: Optional[str]
     stats: "RunStatistics"
+    trace: Optional[TraceReport] = None
 
     @property
     def peak_buffered_events(self) -> int:
@@ -72,6 +83,37 @@ class FluxRunResult:
 
 
 from repro.engine.stats import RunStatistics  # noqa: E402  (documented forward ref)
+
+
+#: Monotone run ids for the ``REPRO_OBS_JSON`` dump (process-wide).
+_obs_run_ids = itertools.count()
+
+
+def _finish_observation(
+    observer, stats, *, fastpath: bool = False, push: bool = False
+) -> Optional[TraceReport]:
+    """Seal one *completed* run's observability state.
+
+    Folds the run into the always-on global telemetry (every run, traced or
+    not), and for traced runs builds the :class:`TraceReport` -- appending
+    it to the ``REPRO_OBS_JSON`` JSON-lines dump when that is set.  Called
+    exactly once per finished run from each execution shape; aborted runs
+    never reach it.
+    """
+    record_run(
+        stats,
+        traced=observer is not None and observer.enabled,
+        fastpath=fastpath,
+        push=push,
+    )
+    if observer is None or not observer.enabled:
+        return None
+    observer.fastpath = fastpath
+    report = observer.finish(stats)
+    path = os.environ.get("REPRO_OBS_JSON")
+    if path:
+        append_jsonl(path, report, run=next(_obs_run_ids))
+    return report
 
 
 def _quiet_abort(executor: StreamExecutor) -> None:
@@ -126,6 +168,8 @@ class StreamingRun:
         governor=None,
         owns_governor: bool = True,
         on_finish=None,
+        observer=None,
+        fastpath: bool = False,
     ):
         self._executor = executor
         self._sink = sink
@@ -133,7 +177,11 @@ class StreamingRun:
         self._governor = governor if owns_governor else None
         self._consumed = False
         self._on_finish = on_finish
+        self._observer = observer
+        self._fastpath = fastpath
         self.stats: RunStatistics = executor.stats
+        #: The finished run's :class:`TraceReport` (traced runs only).
+        self.trace: Optional[TraceReport] = None
         # Both finalizers reference the executor/governor, never the run
         # itself, so they cannot keep the run alive; both are idempotent.
         self._abort_finalizer = weakref.finalize(self, _quiet_abort, executor)
@@ -169,20 +217,47 @@ class StreamingRun:
         self._consumed = True
         executor = self._executor
         sink = self._sink
+        observer = self._observer
         try:
-            executor.begin()
-            fragment = sink.drain()
-            if fragment:
-                yield fragment
-            for batch in self._batches:
-                executor.process_batch(batch)
+            if observer is not None and observer.enabled:
+                # Traced twin of the drain loop below: ``execute`` spans
+                # around begin/batch/finish (never around a yield, so an
+                # abandoned stream leaves no span open), stage charges from
+                # the span timings.
+                observer.mode = "stream"
+                tracer = observer.tracer
+                stage = observer.stage("execute")
+                with tracer.span("execute") as span:
+                    executor.begin()
+                stage.seconds += span.record.seconds
                 fragment = sink.drain()
                 if fragment:
                     yield fragment
-            executor.finish()
+                for batch in self._batches:
+                    with tracer.span("execute") as span:
+                        executor.process_batch(batch)
+                    stage.charge(span.record.seconds, len(batch))
+                    fragment = sink.drain()
+                    if fragment:
+                        yield fragment
+                with tracer.span("execute") as span:
+                    executor.finish()
+                stage.seconds += span.record.seconds
+            else:
+                executor.begin()
+                fragment = sink.drain()
+                if fragment:
+                    yield fragment
+                for batch in self._batches:
+                    executor.process_batch(batch)
+                    fragment = sink.drain()
+                    if fragment:
+                        yield fragment
+                executor.finish()
             fragment = sink.drain()
             if fragment:
                 yield fragment
+            self.trace = _finish_observation(observer, self.stats, fastpath=self._fastpath)
             if self._on_finish is not None:
                 self._on_finish(self.stats)
         finally:
@@ -220,11 +295,15 @@ class RunHandle:
         governor=None,
         owns_governor: bool = True,
         on_finish=None,
+        observer=None,
+        fastpath: bool = False,
     ):
         self._executor = executor
         self._feed = feed
         self._governor = governor if owns_governor else None
         self._on_finish = on_finish
+        self._observer = observer
+        self._fastpath = fastpath
         self._state = "open"
         self.stats: RunStatistics = executor.stats
         #: The completed run's result; set by :meth:`finish`.
@@ -238,7 +317,13 @@ class RunHandle:
             self._finalizer = weakref.finalize(self, self._governor.close)
         else:
             self._finalizer = None
-        executor.begin()
+        if observer is not None and observer.enabled:
+            observer.mode = "push"
+            with observer.tracer.span("execute") as span:
+                executor.begin()
+            observer.stage("execute").seconds += span.record.seconds
+        else:
+            executor.begin()
 
     # ----------------------------------------------------------------- feed
 
@@ -259,10 +344,16 @@ class RunHandle:
                 "cannot feed text while a partial UTF-8 sequence from a "
                 "previous byte chunk is pending; feed the remaining bytes first"
             )
+        observer = self._observer
         try:
             batch = self._feed.feed(chunk)
             if batch:
-                self._executor.process_batch(batch)
+                if observer is not None and observer.enabled:
+                    with observer.tracer.span("execute") as span:
+                        self._executor.process_batch(batch)
+                    observer.stage("execute").charge(span.record.seconds, len(batch))
+                else:
+                    self._executor.process_batch(batch)
         except Exception:
             self.close()
             raise
@@ -279,11 +370,19 @@ class RunHandle:
             return self.result
         if self._state != "open":
             raise RuntimeError("cannot finish a closed run")
+        observer = self._observer
         try:
             tail = self._feed.finish()
-            if tail:
-                self._executor.process_batch(tail)
-            execution = self._executor.finish()
+            if observer is not None and observer.enabled:
+                with observer.tracer.span("execute") as span:
+                    if tail:
+                        self._executor.process_batch(tail)
+                    execution = self._executor.finish()
+                observer.stage("execute").seconds += span.record.seconds
+            else:
+                if tail:
+                    self._executor.process_batch(tail)
+                execution = self._executor.finish()
         except Exception:
             self.close()
             raise
@@ -291,7 +390,8 @@ class RunHandle:
         self._abort_finalizer()  # no live buffers remain: a no-op teardown
         if self._finalizer is not None:
             self._finalizer()
-        self.result = FluxRunResult(output=execution.output, stats=execution.stats)
+        trace = _finish_observation(observer, self.stats, fastpath=self._fastpath, push=True)
+        self.result = FluxRunResult(output=execution.output, stats=execution.stats, trace=trace)
         if self._on_finish is not None:
             self._on_finish(self.stats)
         return self.result
@@ -459,11 +559,14 @@ class FluxEngine:
     def _run_setup(self, options, sink, governor, owns_governor: bool):
         """The shared preamble of every execution shape.
 
-        Resolves options, creates the run's statistics, binds the sink and
-        settles governor ownership: an injected governor keeps the caller's
+        Resolves options, creates the run's statistics, binds the sink,
+        settles governor ownership (an injected governor keeps the caller's
         ownership flag, an absent one is created from the options and owned
-        by this run.  Returns ``(options, stats, bound_sink, governor,
-        owned)``.
+        by this run) and resolves tracing: ``observer`` is a live
+        :class:`~repro.obs.observer.Observer` when this run traces, ``None``
+        otherwise -- downstream layers treat ``None`` as "run the
+        pre-instrumentation code path".  Returns ``(options, stats,
+        bound_sink, governor, owned, observer)``.
         """
         if options is None:
             options = self._run_options()
@@ -473,7 +576,8 @@ class FluxEngine:
         if governor is None:
             governor = self._make_governor(options)
             owned = True
-        return options, stats, bound_sink, governor, owned
+        observer = Observer() if use_tracing(options.trace) else None
+        return options, stats, bound_sink, governor, owned, observer
 
     def execute(
         self,
@@ -495,18 +599,20 @@ class FluxEngine:
         it survives the run.  ``on_finish`` is called with the completed
         run's statistics (session bookkeeping).
         """
-        options, stats, bound_sink, governor, owned = self._run_setup(
+        options, stats, bound_sink, governor, owned, observer = self._run_setup(
             options, sink, governor, owns_governor
         )
         executor = self._executor(sink=bound_sink, stats=stats, governor=governor)
+        pipeline = self._pipeline_for(options)
         try:
-            batches = self._pipeline_for(options).event_batches(
+            batches = pipeline.event_batches(
                 document,
                 expand_attrs=options.expand_attrs,
                 stats=stats,
                 chunk_size=options.chunk_size,
+                observer=observer,
             )
-            result: ExecutionResult = executor.run_batches(batches)
+            result: ExecutionResult = executor.run_batches(batches, observer=observer)
         except BaseException:
             # A failed run must not leave its live buffers' pages charged
             # against a *shared* (session-owned) governor; an owned one is
@@ -517,9 +623,10 @@ class FluxEngine:
         finally:
             if owned and governor is not None:
                 governor.close()
+        trace = _finish_observation(observer, stats, fastpath=pipeline is not self.pipeline)
         if on_finish is not None:
             on_finish(stats)
-        return FluxRunResult(output=result.output, stats=result.stats)
+        return FluxRunResult(output=result.output, stats=result.stats, trace=trace)
 
     def open_run(
         self,
@@ -537,15 +644,22 @@ class FluxEngine:
         the input arrives through :meth:`RunHandle.feed`, split at arbitrary
         byte/character boundaries.
         """
-        options, stats, bound_sink, governor, owned = self._run_setup(
+        options, stats, bound_sink, governor, owned, observer = self._run_setup(
             options, sink, governor, owns_governor
         )
         executor = self._executor(sink=bound_sink, stats=stats, governor=governor)
-        feed = self._pipeline_for(options).open_feed(
-            expand_attrs=options.expand_attrs, stats=stats
+        pipeline = self._pipeline_for(options)
+        feed = pipeline.open_feed(
+            expand_attrs=options.expand_attrs, stats=stats, observer=observer
         )
         return RunHandle(
-            executor, feed, governor=governor, owns_governor=owned, on_finish=on_finish
+            executor,
+            feed,
+            governor=governor,
+            owns_governor=owned,
+            on_finish=on_finish,
+            observer=observer,
+            fastpath=pipeline is not self.pipeline,
         )
 
     def stream(
@@ -558,18 +672,27 @@ class FluxEngine:
         on_finish=None,
     ) -> StreamingRun:
         """Pull-mode execution yielding serialized output fragments lazily."""
-        options, stats, sink, governor, owned = self._run_setup(
+        options, stats, sink, governor, owned, observer = self._run_setup(
             options, FragmentSink(), governor, owns_governor
         )
         executor = self._executor(sink=sink, stats=stats, governor=governor)
-        batches = self._pipeline_for(options).event_batches(
+        pipeline = self._pipeline_for(options)
+        batches = pipeline.event_batches(
             document,
             expand_attrs=options.expand_attrs,
             stats=stats,
             chunk_size=options.chunk_size,
+            observer=observer,
         )
         return StreamingRun(
-            executor, sink, batches, governor=governor, owns_governor=owned, on_finish=on_finish
+            executor,
+            sink,
+            batches,
+            governor=governor,
+            owns_governor=owned,
+            on_finish=on_finish,
+            observer=observer,
+            fastpath=pipeline is not self.pipeline,
         )
 
     # ------------------------------------------------- legacy run spellings
@@ -597,6 +720,7 @@ class FluxEngine:
         finally:
             if governor is not None:
                 governor.close()
+        record_run(result.stats)
         return FluxRunResult(output=result.output, stats=result.stats)
 
     def run_streaming(

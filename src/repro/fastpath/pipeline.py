@@ -71,6 +71,7 @@ class FastEventPipeline:
         expand_attrs: bool = False,
         stats=None,
         chunk_size: Optional[int] = None,
+        observer=None,
     ) -> Iterator[List[Event]]:
         """The fully-staged batch stream for one document (pull mode).
 
@@ -78,7 +79,9 @@ class FastEventPipeline:
         ``mmap``); streaming sources feed the scanner chunk-wise.  Input
         accounting mirrors the classic pipeline: with projection active and
         ``stats`` given, pre-drop totals are recorded here, otherwise the
-        executor counts the (unfiltered) events itself.
+        executor counts the (unfiltered) events itself.  An enabled
+        ``observer`` (:mod:`repro.obs`) selects the traced generator; off,
+        the pre-instrumentation generator runs unchanged.
         """
         if expand_attrs:
             raise ValueError(
@@ -86,6 +89,8 @@ class FastEventPipeline:
             )
         size = chunk_size if chunk_size is not None else self.chunk_size
         record = stats if self.projection_enabled else None
+        if observer is not None and observer.enabled:
+            return self._generate_traced(document, size, record, observer)
         return self._generate(document, size, record)
 
     def _generate(self, document, size: int, record) -> Iterator[List[Event]]:
@@ -116,15 +121,70 @@ class FastEventPipeline:
         finally:
             closer()
 
+    def _generate_traced(self, document, size: int, record, observer) -> Iterator[List[Event]]:
+        """Traced twin of :meth:`_generate`.
+
+        The fast path has two document stages: ``scan`` (the bytes-native
+        scanner, projection included via the flat table) and
+        ``materialize`` (struct-of-arrays rows back to classic events).
+        ``scan``'s event count is pre-drop (``batch.seen``),
+        ``materialize``'s is the survivors -- the same selectivity funnel
+        the classic table shows.
+        """
+        tracer = observer.tracer
+        s_scan = observer.stage("scan")
+        s_materialize = observer.stage("materialize")
+        scanner = ByteScanner(self.tags, self.table)
+        kind, source, closer = resolve_bytes_source(document, size)
+
+        def produce(batch):
+            if record is not None and batch.seen:
+                record.record_input(batch.seen, batch.cost)
+            with tracer.span("materialize") as span:
+                events = batch.materialize()
+            s_materialize.charge(span.record.seconds, len(events))
+            return events
+
+        try:
+            if kind == "buffer":
+                batches = scanner.scan_document(source, size)
+                while True:
+                    with tracer.span("scan") as span:
+                        batch = next(batches, None)
+                    if batch is None:
+                        break
+                    s_scan.charge(span.record.seconds, batch.seen)
+                    events = produce(batch)
+                    if events:
+                        yield events
+            else:
+                for chunk in source:
+                    with tracer.span("scan") as span:
+                        batch = scanner.feed_batch(chunk)
+                    s_scan.charge(span.record.seconds, batch.seen)
+                    events = produce(batch)
+                    if events:
+                        yield events
+                with tracer.span("scan") as span:
+                    batch = scanner.close_batch()
+                s_scan.charge(span.record.seconds, batch.seen)
+                events = produce(batch)
+                if events:
+                    yield events
+        finally:
+            closer()
+
     # ------------------------------------------------------------- push mode
 
-    def open_feed(self, *, expand_attrs: bool = False, stats=None) -> "FastPipelineFeed":
+    def open_feed(
+        self, *, expand_attrs: bool = False, stats=None, observer=None
+    ) -> "FastPipelineFeed":
         """Open an incremental (push-mode) instance of the document stages."""
         if expand_attrs:
             raise ValueError(
                 "the fast path does not support expand_attrs; use the classic pipeline"
             )
-        return FastPipelineFeed(self, stats=stats)
+        return FastPipelineFeed(self, stats=stats, observer=observer)
 
 
 class FastPipelineFeed:
@@ -137,13 +197,15 @@ class FastPipelineFeed:
     the text-after-partial-UTF-8 case.
     """
 
-    __slots__ = ("_scanner", "_stats", "_record", "_finished")
+    __slots__ = ("_scanner", "_stats", "_record", "_finished", "_observer")
 
-    def __init__(self, pipeline: FastEventPipeline, *, stats=None):
+    def __init__(self, pipeline: FastEventPipeline, *, stats=None, observer=None):
         self._scanner = ByteScanner(pipeline.tags, pipeline.table)
         self._record = stats is not None and pipeline.projection_enabled
         self._stats = stats
         self._finished = False
+        # ``None`` when tracing is off; one attribute check per fed chunk.
+        self._observer = observer if observer is not None and observer.enabled else None
 
     @property
     def pending_bytes(self) -> bool:
@@ -163,10 +225,21 @@ class FastPipelineFeed:
             data = chunk.encode("utf-8")
         else:
             data = bytes(chunk)
-        batch = self._scanner.feed_batch(data)
+        observer = self._observer
+        if observer is None:
+            batch = self._scanner.feed_batch(data)
+            if self._record and batch.seen:
+                self._stats.record_input(batch.seen, batch.cost)
+            return batch.materialize()
+        with observer.tracer.span("scan") as span:
+            batch = self._scanner.feed_batch(data)
+        observer.stage("scan").charge(span.record.seconds, batch.seen)
         if self._record and batch.seen:
             self._stats.record_input(batch.seen, batch.cost)
-        return batch.materialize()
+        with observer.tracer.span("materialize") as span:
+            events = batch.materialize()
+        observer.stage("materialize").charge(span.record.seconds, len(events))
+        return events
 
     def finish(self) -> List[Event]:
         """Signal end of input; returns (and stages) any remaining events."""

@@ -28,12 +28,22 @@ from repro.engine.engine import FluxRunResult
 from repro.engine.executor import StreamExecutor
 from repro.engine.stats import RunStatistics
 from repro.fastpath import FastFanout, use_fastpath
+from repro.obs.metrics import global_registry
+from repro.obs.observer import Observer, TraceReport, use_tracing
 from repro.multiquery.registry import QueryRegistry, RegisteredQuery
 from repro.pipeline.fanout import MergedProjectionSpec, MergedStreamProjector
 from repro.pipeline.sinks import WritableSink
 from repro.pipeline.stages import coalesce_batches
 from repro.storage.governor import MemoryGovernor
 from repro.xmlstream.parser import DEFAULT_CHUNK_SIZE, DocumentSource, iter_event_batches
+
+# Process-wide multi-query telemetry (:mod:`repro.obs`): bumped once per
+# shared pass, so cost is nil.
+_metrics = global_registry()
+_PASSES = _metrics.counter("repro.multiquery.passes.total", "Shared multi-query passes")
+_PASS_QUERIES = _metrics.counter(
+    "repro.multiquery.queries.total", "Queries served across all shared passes"
+)
 
 
 class MultiQueryRun:
@@ -44,6 +54,7 @@ class MultiQueryRun:
         results: Dict[str, FluxRunResult],
         elapsed_seconds: float,
         memory: Optional[dict] = None,
+        trace: Optional[TraceReport] = None,
     ):
         self.results = results
         #: Wall-clock time of the whole shared pass (all queries together).
@@ -51,6 +62,10 @@ class MultiQueryRun:
         #: Shared memory-governor telemetry (budget, peak resident, spills)
         #: when the pass ran under a memory budget; ``None`` otherwise.
         self.memory = memory
+        #: Pass-level :class:`~repro.obs.observer.TraceReport` (the shared
+        #: scan vs. the N-executor fan-out) for traced passes; ``None``
+        #: otherwise.
+        self.trace = trace
 
     def __getitem__(self, name: str) -> FluxRunResult:
         return self.results[name]
@@ -143,8 +158,14 @@ class MultiQueryEngine:
         *,
         collect_output: bool = True,
         expand_attrs: bool = False,
+        trace: Optional[bool] = None,
     ) -> MultiQueryRun:
-        """One shared pass; per-query collected output and statistics."""
+        """One shared pass; per-query collected output and statistics.
+
+        ``trace`` requests a pass-level stage breakdown (shared scan vs.
+        executor fan-out) on the returned run's ``trace``; ``None`` defers
+        to ``REPRO_TRACE`` exactly like single-query runs.
+        """
 
         def executor_for(entry: RegisteredQuery, stats: RunStatistics, factory) -> StreamExecutor:
             return StreamExecutor(
@@ -155,7 +176,7 @@ class MultiQueryEngine:
                 buffer_factory=factory,
             )
 
-        return self._execute(document, executor_for, expand_attrs)
+        return self._execute(document, executor_for, expand_attrs, trace)
 
     def run_to_sinks(
         self,
@@ -163,6 +184,7 @@ class MultiQueryEngine:
         writables: Mapping[str, object],
         *,
         expand_attrs: bool = False,
+        trace: Optional[bool] = None,
     ) -> MultiQueryRun:
         """One shared pass, each query streaming into its own writable.
 
@@ -180,13 +202,16 @@ class MultiQueryEngine:
                 entry.plan, stats=stats, sink=sink, count_input=False, buffer_factory=factory
             )
 
-        return self._execute(document, executor_for, expand_attrs)
+        return self._execute(document, executor_for, expand_attrs, trace)
 
     # ---------------------------------------------------------------- internals
 
-    def _execute(self, document: DocumentSource, executor_for, expand_attrs: bool) -> MultiQueryRun:
+    def _execute(
+        self, document: DocumentSource, executor_for, expand_attrs: bool, trace: Optional[bool] = None
+    ) -> MultiQueryRun:
         entries = list(self.registry)
         spec = self.merged_spec()
+        observer = Observer() if use_tracing(trace) else None
         started_at = time.perf_counter()
 
         # One governor for the whole pass: all N executors' buffers share
@@ -205,7 +230,8 @@ class MultiQueryEngine:
         executors: List[StreamExecutor] = [
             executor_for(entry, stats, factory) for entry, stats in zip(entries, stats_list)
         ]
-        if use_fastpath(self.fastpath, expand_attrs=expand_attrs):
+        fast = use_fastpath(self.fastpath, expand_attrs=expand_attrs)
+        if fast:
             # Shared bytes-native scan: project through the flat merged
             # table and materialize each query's sub-stream directly.
             split_batches = self._fanout().split_batches(
@@ -224,15 +250,19 @@ class MultiQueryEngine:
             split_batches = map(projector.split_batch, batches)
 
         try:
-            for executor in executors:
-                executor.begin()
-            for subs in split_batches:
-                for executor, sub in zip(executors, subs):
-                    if sub:
-                        executor.process_batch(sub)
+            if observer is not None:
+                executions = self._drive_traced(split_batches, executors, observer)
+            else:
+                for executor in executors:
+                    executor.begin()
+                for subs in split_batches:
+                    for executor, sub in zip(executors, subs):
+                        if sub:
+                            executor.process_batch(sub)
+                executions = [executor.finish() for executor in executors]
             results = {
                 entry.name: FluxRunResult(output=execution.output, stats=execution.stats)
-                for entry, execution in zip(entries, (executor.finish() for executor in executors))
+                for entry, execution in zip(entries, executions)
             }
             memory = governor.telemetry() if governor is not None else None
         except BaseException:
@@ -249,4 +279,49 @@ class MultiQueryEngine:
         finally:
             if owns_governor and governor is not None:
                 governor.close()
-        return MultiQueryRun(results, time.perf_counter() - started_at, memory=memory)
+        elapsed = time.perf_counter() - started_at
+        _PASSES.inc()
+        _PASS_QUERIES.inc(len(entries))
+        trace_report = None
+        if observer is not None:
+            # Pass-level totals for the report's byte columns: input is the
+            # shared document (every query's statistics carry the same
+            # pre-drop totals), output is the sum over all queries.
+            observer.mode = "multiquery"
+            observer.fastpath = fast
+            totals = RunStatistics()
+            totals.input_bytes = stats_list[0].input_bytes if stats_list else 0
+            totals.output_bytes = sum(stats.output_bytes for stats in stats_list)
+            totals.elapsed_seconds = elapsed
+            trace_report = observer.finish(totals)
+        return MultiQueryRun(results, elapsed, memory=memory, trace=trace_report)
+
+    def _drive_traced(self, split_batches, executors, observer) -> List:
+        """Traced twin of the drive loop: ``scan`` spans around pulling the
+        shared-pass batches (tokenize + merged projection run lazily inside
+        the iterator), ``execute`` spans around the N-executor fan-out."""
+        tracer = observer.tracer
+        s_scan = observer.stage("scan")
+        s_execute = observer.stage("execute")
+        with tracer.span("execute") as span:
+            for executor in executors:
+                executor.begin()
+        s_execute.seconds += span.record.seconds
+        iterator = iter(split_batches)
+        while True:
+            with tracer.span("scan") as span:
+                subs = next(iterator, None)
+            if subs is None:
+                break
+            s_scan.charge(span.record.seconds, sum(len(sub) for sub in subs))
+            events = 0
+            with tracer.span("execute") as span:
+                for executor, sub in zip(executors, subs):
+                    if sub:
+                        events += len(sub)
+                        executor.process_batch(sub)
+            s_execute.charge(span.record.seconds, events)
+        with tracer.span("execute") as span:
+            executions = [executor.finish() for executor in executors]
+        s_execute.seconds += span.record.seconds
+        return executions

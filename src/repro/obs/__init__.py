@@ -1,0 +1,52 @@
+"""Observability: span tracing, a metrics registry, and exporters.
+
+Zero-dependency measurement substrate for the engine (ISSUE 7).  Three
+pieces compose:
+
+* :mod:`repro.obs.tracer` -- per-run span trees with monotonic timings
+  and a one-attribute-lookup disabled path,
+* :mod:`repro.obs.metrics` -- the process-wide registry of counters,
+  gauges and explicit-bucket histograms every layer registers into,
+* :mod:`repro.obs.export` -- JSON-lines trace dumps, Prometheus-style
+  text exposition, and (on the report object) the human CLI table.
+
+:mod:`repro.obs.runtime` keeps always-on totals over every finished run;
+per-run tracing is requested with ``ExecutionOptions(trace=True)``, the
+``REPRO_TRACE`` environment variable, or ``repro run --trace``.
+"""
+
+from .export import append_jsonl, prometheus_text, trace_to_jsonl
+from .metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    global_registry,
+)
+from .observer import NULL_OBSERVER, Observer, StageStats, TraceReport, use_tracing
+from .runtime import record_run
+from .tracer import NULL_TRACER, NullTracer, SpanRecord, Tracer, validate_span_tree
+
+__all__ = [
+    "Counter",
+    "DEFAULT_LATENCY_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_OBSERVER",
+    "NULL_TRACER",
+    "NullTracer",
+    "Observer",
+    "SpanRecord",
+    "StageStats",
+    "TraceReport",
+    "Tracer",
+    "append_jsonl",
+    "global_registry",
+    "prometheus_text",
+    "record_run",
+    "trace_to_jsonl",
+    "use_tracing",
+    "validate_span_tree",
+]

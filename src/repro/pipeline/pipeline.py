@@ -86,13 +86,16 @@ class EventPipeline:
         expand_attrs: bool = False,
         stats=None,
         chunk_size: Optional[int] = None,
+        observer=None,
     ) -> Iterator[List[Event]]:
         """The fully-staged batch stream for one document.
 
         When the projection filter is active and ``stats`` is given, input
         accounting happens inside the filter (pre-drop); otherwise the
         executor records input per batch itself.  ``chunk_size`` overrides
-        the pipeline default for this one document.
+        the pipeline default for this one document.  An enabled ``observer``
+        (:mod:`repro.obs`) selects the traced twin of the staging loop; off,
+        the pre-instrumentation generator runs unchanged.
         """
         batches = iter_event_batches(
             document,
@@ -100,6 +103,8 @@ class EventPipeline:
             document_events=False,
             chunk_size=chunk_size if chunk_size is not None else self.chunk_size,
         )
+        if observer is not None and observer.enabled:
+            return self._staged_traced(batches, stats, observer)
         return self._staged(batches, stats)
 
     def adapt_events(self, events: Iterable[Event], stats=None) -> Iterator[List[Event]]:
@@ -113,9 +118,41 @@ class EventPipeline:
             batches = projector.filter_batches(batches)
         return batches
 
+    def _staged_traced(self, batches, stats, observer) -> Iterator[List[Event]]:
+        """The traced twin of :meth:`_staged`: same per-batch stage calls
+        (``coalesce_characters`` / ``filter_batch`` are what the generator
+        forms dispatch to), with per-batch spans and stage charges around
+        them.  ``tokenize`` covers pulling the next raw batch out of the
+        parser; its event count is pre-coalesce, ``project``'s is the
+        surviving events -- the per-stage table reads as a selectivity
+        funnel.
+        """
+        tracer = observer.tracer
+        s_tokenize = observer.stage("tokenize")
+        s_coalesce = observer.stage("coalesce")
+        s_project = observer.stage("project")
+        projector = self.projector(stats)
+        iterator = iter(batches)
+        while True:
+            with tracer.span("tokenize") as span:
+                batch = next(iterator, None)
+            if batch is None:
+                return
+            s_tokenize.charge(span.record.seconds, len(batch))
+            with tracer.span("coalesce") as span:
+                batch = coalesce_characters(batch)
+            s_coalesce.charge(span.record.seconds, len(batch))
+            if projector is not None:
+                with tracer.span("project") as span:
+                    batch = projector.filter_batch(batch)
+                s_project.charge(span.record.seconds, len(batch))
+            yield batch
+
     # ------------------------------------------------------------- push mode
 
-    def open_feed(self, *, expand_attrs: bool = False, stats=None) -> "PipelineFeed":
+    def open_feed(
+        self, *, expand_attrs: bool = False, stats=None, observer=None
+    ) -> "PipelineFeed":
         """Open an incremental (push-mode) instance of the document stages.
 
         The returned :class:`PipelineFeed` accepts arbitrarily-split chunks
@@ -124,7 +161,7 @@ class EventPipeline:
         accounting mirrors pull mode: with the projection filter active and
         ``stats`` given, the filter records pre-drop totals itself.
         """
-        return PipelineFeed(self, expand_attrs=expand_attrs, stats=stats)
+        return PipelineFeed(self, expand_attrs=expand_attrs, stats=stats, observer=observer)
 
 
 class PipelineFeed:
@@ -136,14 +173,24 @@ class PipelineFeed:
     any number of concurrent feeds.
     """
 
-    __slots__ = ("_tokenizer", "_projector", "_expand", "_decoder", "_finished")
+    __slots__ = ("_tokenizer", "_projector", "_expand", "_decoder", "_finished", "_observer")
 
-    def __init__(self, pipeline: EventPipeline, *, expand_attrs: bool = False, stats=None):
+    def __init__(
+        self,
+        pipeline: EventPipeline,
+        *,
+        expand_attrs: bool = False,
+        stats=None,
+        observer=None,
+    ):
         self._tokenizer = Tokenizer(report_document_events=False)
         self._projector = pipeline.projector(stats)
         self._expand = expand_attrs
         self._decoder = None
         self._finished = False
+        # ``None`` when tracing is off; the traced branch costs one
+        # attribute check per fed *chunk* on the untraced path.
+        self._observer = observer if observer is not None and observer.enabled else None
 
     @property
     def pending_bytes(self) -> bool:
@@ -178,7 +225,13 @@ class PipelineFeed:
                 "cannot feed text while a partial UTF-8 sequence from a "
                 "previous byte chunk is pending; feed the remaining bytes first"
             )
-        return self._stage(self._tokenizer.feed_batch(chunk))
+        observer = self._observer
+        if observer is None:
+            return self._stage(self._tokenizer.feed_batch(chunk))
+        with observer.tracer.span("tokenize") as span:
+            batch = self._tokenizer.feed_batch(chunk)
+        observer.stage("tokenize").charge(span.record.seconds, len(batch))
+        return self._stage_traced(batch)
 
     def finish(self) -> List[Event]:
         """Signal end of input; returns (and stages) any remaining events.
@@ -189,13 +242,14 @@ class PipelineFeed:
         if self._finished:
             return []
         self._finished = True
+        stage = self._stage if self._observer is None else self._stage_traced
         if self._decoder is not None:
             tail = self._decoder.decode(b"", final=True)
             if tail:
-                return self._stage(self._tokenizer.feed_batch(tail)) + self._stage(
+                return stage(self._tokenizer.feed_batch(tail)) + stage(
                     self._tokenizer.close_batch()
                 )
-        return self._stage(self._tokenizer.close_batch())
+        return stage(self._tokenizer.close_batch())
 
     def _stage(self, batch: List[Event]) -> List[Event]:
         if not batch:
@@ -205,4 +259,26 @@ class PipelineFeed:
         batch = coalesce_characters(batch)
         if self._projector is not None:
             batch = self._projector.filter_batch(batch)
+        return batch
+
+    def _stage_traced(self, batch: List[Event]) -> List[Event]:
+        """Traced twin of :meth:`_stage` (same calls, spans + stage charges).
+
+        Attribute expansion, when requested, is charged to coalesce -- it is
+        a pre-pass of the same normalization step, not a pipeline stage of
+        its own.
+        """
+        if not batch:
+            return batch
+        observer = self._observer
+        tracer = observer.tracer
+        with tracer.span("coalesce") as span:
+            if self._expand:
+                batch = list(expand_attributes(batch))
+            batch = coalesce_characters(batch)
+        observer.stage("coalesce").charge(span.record.seconds, len(batch))
+        if self._projector is not None:
+            with tracer.span("project") as span:
+                batch = self._projector.filter_batch(batch)
+            observer.stage("project").charge(span.record.seconds, len(batch))
         return batch

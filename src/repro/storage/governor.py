@@ -38,8 +38,26 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Callable, List, Optional
 
+from repro.obs.metrics import global_registry
 from repro.storage.codec import decode_events, encode_events
 from repro.storage.spill import SpillStore
+
+# Process-wide storage-layer telemetry (:mod:`repro.obs`).  Bumped only on
+# the governor's cold paths -- per sealed page, eviction and fault, never
+# per admitted event (admission is inlined in ``PagedEventBuffer.append``).
+_metrics = global_registry()
+_PAGES_SEALED = _metrics.counter(
+    "repro.governor.pages_sealed.total", "Buffer pages sealed (admitted for eviction)"
+)
+_EVICTIONS = _metrics.counter(
+    "repro.governor.evictions.total", "Pages evicted to the spill store"
+)
+_SPILL_BYTES = _metrics.counter(
+    "repro.governor.spill_bytes.total", "Encoded bytes written to spill storage"
+)
+_FAULTS = _metrics.counter(
+    "repro.governor.faults.total", "Spilled pages decoded back on buffer reads"
+)
 
 #: Default page size: small enough that a modest budget holds many pages,
 #: large enough that codec and file overheads amortize.
@@ -135,6 +153,7 @@ class MemoryGovernor:
         """A page became immutable: it is evictable from now on."""
         self._open_pages.pop(page, None)
         self._lru[page] = None
+        _PAGES_SEALED.inc()
         self._enforce()
 
     def read_page(self, page) -> List["object"]:
@@ -148,6 +167,7 @@ class MemoryGovernor:
             return events
         payload = self.store.read(page.handle)
         self.fault_count += 1
+        _FAULTS.inc()
         page.stats.record_page_fault(len(payload))
         return decode_events(payload)
 
@@ -185,6 +205,8 @@ class MemoryGovernor:
         page.events = None
         self.resident_bytes -= page.cost
         self.spill_count += 1
+        _EVICTIONS.inc()
+        _SPILL_BYTES.inc(len(payload))
         page.stats.record_spill(page.cost, len(payload))
 
     # ---------------------------------------------------------- lifecycle

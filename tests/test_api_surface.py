@@ -101,7 +101,7 @@ EXPECTED_SURFACE = r"""
         "type": "ExecutionOptions"
     },
     "ExecutionOptions": {
-        "init": "(self, collect_output: 'bool' = True, expand_attrs: 'bool' = False, memory_budget: 'Optional[int]' = None, memory_page_bytes: 'Optional[int]' = None, chunk_size: 'int' = 65536, fastpath: 'Optional[bool]' = None) -> None",
+        "init": "(self, collect_output: 'bool' = True, expand_attrs: 'bool' = False, memory_budget: 'Optional[int]' = None, memory_page_bytes: 'Optional[int]' = None, chunk_size: 'int' = 65536, fastpath: 'Optional[bool]' = None, trace: 'Optional[bool]' = None) -> None",
         "kind": "class",
         "members": {
             "replace": "(self, **changes) -> \"'ExecutionOptions'\""
@@ -123,7 +123,7 @@ EXPECTED_SURFACE = r"""
         }
     },
     "FluxRunResult": {
-        "init": "(self, output: 'Optional[str]', stats: \"'RunStatistics'\") -> None",
+        "init": "(self, output: 'Optional[str]', stats: \"'RunStatistics'\", trace: 'Optional[TraceReport]' = None) -> None",
         "kind": "class",
         "members": {
             "peak_buffered_bytes": "<property>",
@@ -161,17 +161,29 @@ EXPECTED_SURFACE = r"""
             "telemetry": "(self) -> 'dict'"
         }
     },
+    "MetricsRegistry": {
+        "init": "(self)",
+        "kind": "class",
+        "members": {
+            "collect": "(self) -> 'List[object]'",
+            "counter": "(self, name: 'str', help: 'str' = '') -> 'Counter'",
+            "gauge": "(self, name: 'str', help: 'str' = '', fn: 'Optional[Callable[[], float]]' = None) -> 'Gauge'",
+            "histogram": "(self, name: 'str', help: 'str' = '', buckets: 'Sequence[float]' = (0.001, 0.005, 0.025, 0.1, 0.5, 2.5, 10.0, 60.0)) -> 'Histogram'",
+            "snapshot": "(self) -> 'dict'",
+            "unregister": "(self, name: 'str') -> 'None'"
+        }
+    },
     "MultiQueryEngine": {
         "init": "(self, registry: 'QueryRegistry', *, chunk_size: 'int' = 65536, memory_budget: 'Optional[int]' = None, memory_page_bytes: 'Optional[int]' = None, governor: 'Optional[MemoryGovernor]' = None, fastpath: 'Optional[bool]' = None)",
         "kind": "class",
         "members": {
             "merged_spec": "(self) -> 'MergedProjectionSpec'",
-            "run": "(self, document: 'DocumentSource', *, collect_output: 'bool' = True, expand_attrs: 'bool' = False) -> 'MultiQueryRun'",
-            "run_to_sinks": "(self, document: 'DocumentSource', writables: 'Mapping[str, object]', *, expand_attrs: 'bool' = False) -> 'MultiQueryRun'"
+            "run": "(self, document: 'DocumentSource', *, collect_output: 'bool' = True, expand_attrs: 'bool' = False, trace: 'Optional[bool]' = None) -> 'MultiQueryRun'",
+            "run_to_sinks": "(self, document: 'DocumentSource', writables: 'Mapping[str, object]', *, expand_attrs: 'bool' = False, trace: 'Optional[bool]' = None) -> 'MultiQueryRun'"
         }
     },
     "MultiQueryRun": {
-        "init": "(self, results: 'Dict[str, FluxRunResult]', elapsed_seconds: 'float', memory: 'Optional[dict]' = None)",
+        "init": "(self, results: 'Dict[str, FluxRunResult]', elapsed_seconds: 'float', memory: 'Optional[dict]' = None, trace: 'Optional[TraceReport]' = None)",
         "kind": "class",
         "members": {
             "items": "(self)",
@@ -257,7 +269,7 @@ EXPECTED_SURFACE = r"""
         }
     },
     "RunHandle": {
-        "init": "(self, executor: 'StreamExecutor', feed, governor=None, owns_governor: 'bool' = True, on_finish=None)",
+        "init": "(self, executor: 'StreamExecutor', feed, governor=None, owns_governor: 'bool' = True, on_finish=None, observer=None, fastpath: 'bool' = False)",
         "kind": "class",
         "members": {
             "close": "(self) -> 'None'",
@@ -289,10 +301,28 @@ EXPECTED_SURFACE = r"""
         }
     },
     "StreamingRun": {
-        "init": "(self, executor: 'StreamExecutor', sink: 'FragmentSink', batches, governor=None, owns_governor: 'bool' = True, on_finish=None)",
+        "init": "(self, executor: 'StreamExecutor', sink: 'FragmentSink', batches, governor=None, owns_governor: 'bool' = True, on_finish=None, observer=None, fastpath: 'bool' = False)",
         "kind": "class",
         "members": {
             "close": "(self) -> 'None'"
+        }
+    },
+    "TraceReport": {
+        "init": "(self, stages: 'List[StageStats]', spans: 'list', wall_seconds: 'float', mode: 'str' = 'pull', fastpath: 'bool' = False)",
+        "kind": "class",
+        "members": {
+            "stage_seconds": "<property>",
+            "table": "(self) -> 'str'",
+            "to_dict": "(self) -> 'dict'"
+        }
+    },
+    "Tracer": {
+        "init": "(self, clock: 'Callable[[], float]' = <built-in function perf_counter>)",
+        "kind": "class",
+        "members": {
+            "add": "(self, counter: 'str', value: 'int' = 1) -> 'None'",
+            "open_spans": "<property>",
+            "span": "(self, name: 'str') -> '_ActiveSpan'"
         }
     },
     "WritableSink": {
@@ -312,6 +342,10 @@ EXPECTED_SURFACE = r"""
         "kind": "function",
         "signature": "(query: 'Union[str, XQExpr]', dtd: 'Union[str, DTD]', *, root_element: 'Optional[str]' = None, root_var: 'str' = '$ROOT', apply_simplifications: 'bool' = True) -> 'CompiledQuery'"
     },
+    "global_registry": {
+        "kind": "function",
+        "signature": "() -> 'MetricsRegistry'"
+    },
     "load_dtd": {
         "kind": "function",
         "signature": "(source: 'Union[str, DTD]', *, root_element: 'Optional[str]' = None) -> 'DTD'"
@@ -319,6 +353,10 @@ EXPECTED_SURFACE = r"""
     "parse_memory_budget": {
         "kind": "function",
         "signature": "(text: 'str') -> 'int'"
+    },
+    "prometheus_text": {
+        "kind": "function",
+        "signature": "(registry: 'MetricsRegistry') -> 'str'"
     },
     "run_queries": {
         "kind": "function",
@@ -335,6 +373,10 @@ EXPECTED_SURFACE = r"""
     "run_query_to_sink": {
         "kind": "function",
         "signature": "(query: 'Union[str, XQExpr]', document: 'DocumentSource', dtd: 'Union[str, DTD]', writable, *, root_element: 'Optional[str]' = None, options: 'Optional[ExecutionOptions]' = None, expand_attrs=<UNSET>, projection=<UNSET>, memory_budget=<UNSET>) -> 'FluxRunResult'"
+    },
+    "validate_span_tree": {
+        "kind": "function",
+        "signature": "(records) -> 'List[str]'"
     }
 }
 """

@@ -149,7 +149,8 @@ def test_multirun_stats_flag_prints_summary_table(xmark_workspace, capsys):
     assert code == 0
     err = capsys.readouterr().err
     assert "peak buffer [B]" in err
-    assert "spills" in err
+    assert "spill bytes" in err
+    assert "evictions" in err
     assert "Q8" in err
 
 

@@ -64,6 +64,14 @@ def test_push_feed_example():
     assert "True" in out
 
 
+def test_trace_run_example():
+    out = _run("trace_run.py", "0.05")
+    assert "per-stage breakdown" in out
+    assert "mode: pull" in out
+    assert "spans total" in out
+    assert "repro_runs_total" in out
+
+
 def test_every_example_is_exercised():
     """Every script in examples/ has a smoke test in this module."""
     scripts = {path.name for path in EXAMPLES_DIR.glob("*.py")}
@@ -74,5 +82,6 @@ def test_every_example_is_exercised():
         "streaming_pipeline.py",
         "xmark_benchmark.py",
         "push_feed.py",
+        "trace_run.py",
     }
     assert scripts == covered, f"examples without a smoke test: {scripts - covered}"
