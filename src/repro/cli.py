@@ -12,6 +12,7 @@ Python code::
     python -m repro xmark    --query Q13 --scale 0.1
     python -m repro fuzz     --seed 1 --cases 200
     python -m repro fuzz     --replay fuzz-failures/seed1-case23.case
+    python -m repro inspect  crash-dumps/repro-1234-1.crash.json
 
 ``compile`` prints the scheduled FluX query and the buffer trees; ``run``
 executes a query and reports the output (optionally to a file) together with
@@ -27,6 +28,14 @@ buffer pages spill to a temp file, with output byte-identical to the
 unbounded run.  The same three commands accept ``--trace``, which prints a
 per-stage time/bytes/events breakdown table (:mod:`repro.obs`) to stderr
 after the run; tracing never changes the output.
+
+``run`` and ``multirun`` additionally accept ``--explain-buffers`` (the
+per-owner buffer attribution table: who held the peak bytes, and which
+plan decision blocked streaming) and ``--serve-metrics PORT`` (a
+background ``/metrics`` + ``/progress`` HTTP endpoint on ``127.0.0.1``
+for the duration of the command).  ``inspect`` renders the
+``*.crash.json`` forensic dumps the flight recorder writes when
+``REPRO_CRASH_DIR`` is set and an engine error aborts a run.
 
 ``fuzz`` drives the randomized conformance harness
 (:mod:`repro.conformance`): ``--seed``/``--cases`` sweep generated
@@ -118,6 +127,33 @@ def _add_memory_budget_argument(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_serve_metrics_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--serve-metrics",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help=(
+            "serve /metrics (Prometheus text) and /progress (JSON watermarks "
+            "of open push-mode runs) on 127.0.0.1:PORT while the command "
+            "runs (0 picks an ephemeral port); output is unchanged"
+        ),
+    )
+
+
+def _serve_metrics_banner(port) -> None:
+    """Start the inspection server for a CLI run and say where it listens."""
+    if port is None:
+        return
+    from repro.obs.serve import ensure_server
+
+    server = ensure_server(port)
+    print(
+        f"serving /metrics and /progress on http://127.0.0.1:{server.port}",
+        file=sys.stderr,
+    )
+
+
 # ---------------------------------------------------------------------------
 # Subcommands
 
@@ -141,12 +177,14 @@ def _cmd_run(args) -> int:
     if args.output and args.discard_output:
         print("error: --output and --discard-output are mutually exclusive", file=sys.stderr)
         return 2
+    _serve_metrics_banner(args.serve_metrics)
     session = FluxSession(
         _load_schema(args),
         options=ExecutionOptions(
             memory_budget=args.memory_budget,
             fastpath=True if args.fastpath else None,
             trace=True if args.trace else None,
+            serve_metrics=args.serve_metrics,
         ),
     )
     prepared = session.prepare(
@@ -162,6 +200,10 @@ def _cmd_run(args) -> int:
         if not args.discard_output:
             print(result.output)
     print(result.stats.summary(), file=sys.stderr)
+    if args.explain_buffers:
+        from repro.obs.attrib import format_attribution
+
+        print(format_attribution(result.stats), file=sys.stderr)
     if result.trace is not None:
         print(result.trace.table(), file=sys.stderr)
     return 0
@@ -180,12 +222,14 @@ def _cmd_multirun(args) -> int:
         )
         return 2
 
+    _serve_metrics_banner(args.serve_metrics)
     session = FluxSession(
         schema,
         options=ExecutionOptions(
             memory_budget=args.memory_budget,
             fastpath=True if args.fastpath else None,
             trace=True if args.trace else None,
+            serve_metrics=args.serve_metrics,
         ),
     )
     queries = {}
@@ -215,6 +259,12 @@ def _cmd_multirun(args) -> int:
                 print(run[name].output)
     for name in names:
         print(f"{name}: {run[name].stats.summary()}", file=sys.stderr)
+    if args.explain_buffers:
+        from repro.obs.attrib import format_attribution
+
+        for name in names:
+            print(f"--- {name} buffers ---", file=sys.stderr)
+            print(format_attribution(run[name].stats), file=sys.stderr)
     print(
         f"shared pass over {len(names)} queries: {run.elapsed_seconds:.3f}s total",
         file=sys.stderr,
@@ -350,6 +400,19 @@ def _cmd_xmark(args) -> int:
     return 0
 
 
+def _cmd_inspect(args) -> int:
+    from repro.obs.recorder import inspect_crash
+
+    status = 0
+    for path in args.dump:
+        try:
+            print(inspect_crash(path))
+        except (OSError, ValueError) as error:
+            print(f"error: cannot inspect {path}: {error}", file=sys.stderr)
+            status = 1
+    return status
+
+
 def _cmd_fuzz(args) -> int:
     from repro.conformance import ConformanceFailure, fuzz, replay
 
@@ -427,6 +490,15 @@ def build_parser() -> argparse.ArgumentParser:
     _add_fastpath_argument(run_parser)
     _add_memory_budget_argument(run_parser)
     _add_trace_argument(run_parser)
+    _add_serve_metrics_argument(run_parser)
+    run_parser.add_argument(
+        "--explain-buffers",
+        action="store_true",
+        help=(
+            "print the per-owner buffer attribution table (who held the "
+            "peak bytes and which plan decision blocked streaming) to stderr"
+        ),
+    )
     run_parser.set_defaults(handler=_cmd_run)
 
     multirun_parser = subparsers.add_parser(
@@ -456,6 +528,12 @@ def build_parser() -> argparse.ArgumentParser:
     _add_fastpath_argument(multirun_parser)
     _add_memory_budget_argument(multirun_parser)
     _add_trace_argument(multirun_parser)
+    _add_serve_metrics_argument(multirun_parser)
+    multirun_parser.add_argument(
+        "--explain-buffers",
+        action="store_true",
+        help="print each query's per-owner buffer attribution table to stderr",
+    )
     multirun_parser.add_argument(
         "--stats",
         action="store_true",
@@ -499,6 +577,15 @@ def build_parser() -> argparse.ArgumentParser:
     _add_memory_budget_argument(xmark_parser)
     _add_trace_argument(xmark_parser)
     xmark_parser.set_defaults(handler=_cmd_xmark)
+
+    inspect_parser = subparsers.add_parser(
+        "inspect",
+        help="pretty-print a *.crash.json flight-recorder dump (see REPRO_CRASH_DIR)",
+    )
+    inspect_parser.add_argument(
+        "dump", nargs="+", metavar="CRASH_JSON", help="crash dump file(s) to render"
+    )
+    inspect_parser.set_defaults(handler=_cmd_inspect)
 
     fuzz_parser = subparsers.add_parser(
         "fuzz",

@@ -37,7 +37,17 @@ the oracle asserts the runtime invariants that PRs 1-3 promised:
 * the *logical* ``peak_buffered_bytes`` is identical across memory
   configurations (spilling must not change what the paper's figures
   report),
-* multi-query per-query peaks equal the solo peaks (PR 2's parity claim).
+* multi-query per-query peaks equal the solo peaks (PR 2's parity claim),
+* **buffer attribution is exact** (ISSUE 8): after every run, the
+  per-owner ledgers (:mod:`repro.obs.attrib`) must account for every
+  byte -- live bytes sum to the (zero) current counter, the at-peak
+  snapshot sums to ``peak_buffered_bytes`` exactly, and spilled bytes sum
+  to ``spilled_bytes_written`` -- in every mode: classic and fast path,
+  solo and multi-query, bounded and unbounded,
+* the **live-inspection endpoint** is side-effect free: one push-mode run
+  per case executes with ``serve_metrics`` enabled and ``/metrics`` +
+  ``/progress`` scraped mid-run; output bytes must be identical and the
+  progress watermarks must reflect the half-fed document.
 
 A violation raises :class:`ConformanceFailure` carrying structured
 :class:`Divergence` records; a pass returns a :class:`CaseReport` with the
@@ -47,6 +57,8 @@ case's coverage facts (did it buffer, did it spill, output size).
 from __future__ import annotations
 
 import io
+import json
+import urllib.request
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -202,6 +214,13 @@ class Oracle:
             if report.divergences:
                 return report
             solo_outputs[name], solo_peaks[name] = solo
+
+        first_name, first_source = case.queries[0]
+        self._check_serve(
+            case, session, first_name, first_source, solo_outputs[first_name], report
+        )
+        if report.divergences:
+            return report
 
         self._check_multiquery(case, schema, session, solo_outputs, solo_peaks, report)
         return report
@@ -520,6 +539,87 @@ class Oracle:
         report.forced_spills = report.forced_spills or stats.spill_count > 0
         return expected, peak
 
+    # ------------------------------------------------------- live inspection
+
+    def _check_serve(
+        self,
+        case: Case,
+        session: FluxSession,
+        name: str,
+        source: str,
+        expected: str,
+        report: CaseReport,
+    ) -> None:
+        """One push-mode run per case under ``serve_metrics`` with a mid-run
+        scrape of both endpoints.  The live-inspection guarantee is *zero
+        effect on output bytes*: the scraped run must be byte-identical to
+        every other mode, and the progress watermarks must reflect exactly
+        the half-fed document at scrape time."""
+        from repro.obs import serve as _serve
+
+        record = report.divergences.append
+        label = "serve-metrics"
+        try:
+            server = _serve.ensure_server(0)
+        except Exception as exc:  # noqa: BLE001 - a dead loopback is a finding
+            record(Divergence(name, label, f"metrics server failed to start: {exc!r}"))
+            return
+        half = len(case.document) // 2
+        head, tail = case.document[:half], case.document[half:]
+        try:
+            run = session.prepare(source).open_run(
+                options=ExecutionOptions(
+                    serve_metrics=0, expand_attrs=case.expand_attrs
+                )
+            )
+            if head:
+                run.feed(head)
+            progress, metrics = self._scrape(server.port)
+            if tail:
+                run.feed(tail)
+            fed = run.finish()
+        except Exception as exc:  # noqa: BLE001
+            record(Divergence(name, label, f"served push run crashed: {exc!r}"))
+            return
+        if fed.output != expected:
+            record(Divergence(name, label, _diff(expected, fed.output)))
+        self._check_balanced(name, label, fed.stats, record)
+        if progress.get("open_runs", 0) < 1:
+            record(
+                Divergence(
+                    name, label, "/progress showed no open runs during a live feed"
+                )
+            )
+        fed_bytes = [entry.get("bytes_fed") for entry in progress.get("runs", [])]
+        if half and len(head) not in fed_bytes:
+            record(
+                Divergence(
+                    name,
+                    label,
+                    f"/progress watermarks {fed_bytes} never showed the "
+                    f"{len(head)}B actually fed at scrape time",
+                )
+            )
+        if "repro_runs_total" not in metrics:
+            record(
+                Divergence(
+                    name, label, "/metrics exposition is missing repro_runs_total"
+                )
+            )
+
+    @staticmethod
+    def _scrape(port: int) -> Tuple[dict, str]:
+        """GET ``/progress`` (parsed) and ``/metrics`` (raw text)."""
+        with urllib.request.urlopen(
+            f"http://127.0.0.1:{port}/progress", timeout=10
+        ) as response:
+            progress = json.loads(response.read().decode("utf-8"))
+        with urllib.request.urlopen(
+            f"http://127.0.0.1:{port}/metrics", timeout=10
+        ) as response:
+            metrics = response.read().decode("utf-8")
+        return progress, metrics
+
     # ------------------------------------------------------------ multi-query
 
     def _check_multiquery(
@@ -596,6 +696,42 @@ class Oracle:
                 record(
                     Divergence(
                         name, mode, f"unbalanced buffer accounting: {value} {what} left after the run"
+                    )
+                )
+        # Attribution exactness (ISSUE 8): the per-owner ledgers must account
+        # for every byte the paper's counters report -- no byte unattributed,
+        # no byte double-charged, in this mode exactly like every other.
+        attribution = getattr(stats, "attribution", None)
+        if attribution is None:
+            record(
+                Divergence(
+                    name, mode, "run statistics carry no buffer attribution ledger"
+                )
+            )
+            return
+        sums = (
+            ("live", attribution.total_live_bytes(), stats.buffered_bytes_current),
+            ("at-peak", attribution.total_at_peak_bytes(), stats.peak_buffered_bytes),
+            ("spilled", attribution.total_spilled_bytes(), stats.spilled_bytes_written),
+        )
+        for what, attributed, counter in sums:
+            if attributed != counter:
+                record(
+                    Divergence(
+                        name,
+                        mode,
+                        f"inexact buffer attribution: {what} owner bytes sum to "
+                        f"{attributed}B but the stats counter says {counter}B",
+                    )
+                )
+        for row in attribution.rows():
+            if row["at_peak_bytes"] and not row["reason"]:
+                record(
+                    Divergence(
+                        name,
+                        mode,
+                        f"owner {row['variable']!r} buffered {row['at_peak_bytes']}B "
+                        "at peak without a plan-level reason",
                     )
                 )
 

@@ -10,11 +10,20 @@ promoted to fixtures under ``tests/``.
 The whole sweep is deterministic: the same ``(seed, cases)`` pair visits
 the identical case sequence on every machine, which is what makes the CI
 ``fuzz-smoke`` job meaningful.
+
+Every sweep additionally injects **one synthetic mid-run fault** (ISSUE 8):
+the first case's document is truncated and push-fed with a crash directory
+set, and the sweep fails unless the engine leaves a well-formed
+``*.crash.json`` flight-recorder dump behind that ``repro inspect`` can
+render.  Crash forensics are part of the conformance surface -- a dump
+that cannot be parsed on the worst day is worse than none.
 """
 
 from __future__ import annotations
 
+import json
 import os
+import tempfile
 import time
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional
@@ -23,6 +32,9 @@ from repro.conformance.cases import Case, load_case, save_case
 from repro.conformance.generator import CaseGenerator
 from repro.conformance.oracle import CaseReport, Oracle
 from repro.conformance.shrink import Shrinker
+from repro.core.api import load_dtd
+from repro.core.session import FluxSession
+from repro.obs.recorder import CRASH_SCHEMA, inspect_crash
 
 
 @dataclass
@@ -89,6 +101,7 @@ def fuzz(
     oracle = Oracle()
     report = FuzzReport(seed=seed)
     started = time.perf_counter()
+    fault_case: Optional[Case] = None
     for index in range(start, start + cases):
         try:
             case = generator.case(index)
@@ -102,6 +115,8 @@ def fuzz(
             )
             report.cases_run += 1
             continue
+        if fault_case is None:
+            fault_case = case
         case_report = oracle.examine(case)
         report.cases_run += 1
         if on_case is not None:
@@ -130,8 +145,84 @@ def fuzz(
             failure.path = os.path.join(save_dir, f"seed{seed}-case{index}.case")
             save_case(failure.path, shrunk)
         report.failures.append(failure)
+    if fault_case is not None:
+        _inject_crash_fault(fault_case, report)
     report.elapsed_seconds = time.perf_counter() - started
     return report
+
+
+def _inject_crash_fault(case: Case, report: FuzzReport) -> None:
+    """One synthetic mid-run engine fault; assert the forensics survive.
+
+    Push-feeds a truncated copy of the case's document (every truncation
+    leaves the root element unterminated, so ``finish`` must raise) with
+    ``REPRO_CRASH_DIR`` pointed at a scratch directory, then checks the
+    flight recorder's ``*.crash.json``: present, valid JSON, the pinned
+    schema, push-mode forensics, and renderable by
+    :func:`repro.obs.recorder.inspect_crash`.  Any gap is reported as an
+    ordinary sweep :class:`Failure`.
+    """
+
+    def fail(detail: str) -> None:
+        report.failures.append(Failure(case, case, [f"[crash-forensics] {detail}"]))
+
+    name, source = case.queries[0]
+    truncated = case.document[: max(1, (len(case.document) * 2) // 3)]
+    saved = os.environ.get("REPRO_CRASH_DIR")
+    try:
+        with tempfile.TemporaryDirectory(prefix="repro-fuzz-crash-") as crash_dir:
+            os.environ["REPRO_CRASH_DIR"] = crash_dir
+            try:
+                schema = load_dtd(case.dtd_source, root_element=case.root)
+                run = FluxSession(schema).prepare(source).open_run(
+                    expand_attrs=case.expand_attrs
+                )
+                try:
+                    run.feed(truncated)
+                    run.finish()
+                except Exception:  # noqa: BLE001 - the injected fault firing
+                    pass
+                else:
+                    fail(
+                        f"query {name!r} finished a truncated "
+                        f"{len(truncated)}B document without an engine error"
+                    )
+                    return
+            except Exception as exc:  # noqa: BLE001
+                fail(f"fault setup crashed outside the run: {exc!r}")
+                return
+            dumps = sorted(
+                entry for entry in os.listdir(crash_dir) if entry.endswith(".crash.json")
+            )
+            if not dumps:
+                fail("the engine error left no *.crash.json dump behind")
+                return
+            path = os.path.join(crash_dir, dumps[0])
+            try:
+                with open(path, "r", encoding="utf-8") as handle:
+                    payload = json.load(handle)
+            except ValueError as exc:
+                fail(f"crash dump is not valid JSON: {exc!r}")
+                return
+            if payload.get("schema") != CRASH_SCHEMA:
+                fail(f"crash dump schema {payload.get('schema')!r} != {CRASH_SCHEMA!r}")
+                return
+            if payload.get("mode") != "push":
+                fail(f"crash dump mode {payload.get('mode')!r} != 'push'")
+            if not (payload.get("error") or {}).get("type"):
+                fail(f"crash dump carries no error type: keys {sorted(payload)}")
+            try:
+                rendered = inspect_crash(path)
+            except Exception as exc:  # noqa: BLE001
+                fail(f"inspect_crash could not render the dump: {exc!r}")
+                return
+            if "error" not in rendered:
+                fail("the inspect_crash rendering never mentions the error")
+    finally:
+        if saved is None:
+            os.environ.pop("REPRO_CRASH_DIR", None)
+        else:
+            os.environ["REPRO_CRASH_DIR"] = saved
 
 
 def replay(path: str) -> CaseReport:

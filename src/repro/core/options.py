@@ -62,6 +62,14 @@ class ExecutionOptions:
         environment variable (``1`` forces on, ``0`` forces off, mirroring
         ``REPRO_FASTPATH``).  Tracing never changes output bytes or the
         logical buffering peaks -- the conformance oracle asserts this.
+    serve_metrics:
+        Serve live run inspection over HTTP (:mod:`repro.obs.serve`) on
+        ``127.0.0.1:<port>`` for the duration of the process: ``/metrics``
+        (Prometheus text) and ``/progress`` (JSON watermarks of open
+        push-mode runs).  Port ``0`` binds an ephemeral port (shared by
+        all port-0 requests).  ``None`` (the default) serves nothing.
+        Serving never changes output bytes -- the runs execute identical
+        code whether or not anyone is watching.
     """
 
     collect_output: bool = True
@@ -71,12 +79,19 @@ class ExecutionOptions:
     chunk_size: int = DEFAULT_CHUNK_SIZE
     fastpath: Optional[bool] = None
     trace: Optional[bool] = None
+    serve_metrics: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.memory_budget is not None and self.memory_budget <= 0:
             raise ValueError(f"memory_budget must be positive, got {self.memory_budget}")
         if self.chunk_size <= 0:
             raise ValueError(f"chunk_size must be positive, got {self.chunk_size}")
+        if self.serve_metrics is not None and (
+            not isinstance(self.serve_metrics, int) or self.serve_metrics < 0
+        ):
+            raise ValueError(
+                f"serve_metrics must be a TCP port (>= 0), got {self.serve_metrics!r}"
+            )
 
     def replace(self, **changes) -> "ExecutionOptions":
         """A copy with the given fields changed (validation re-runs)."""

@@ -18,6 +18,7 @@ from __future__ import annotations
 from typing import Callable, Iterable, List, Optional
 
 from repro.engine.stats import RunStatistics
+from repro.obs.attrib import BufferAttribution
 from repro.xmlstream.events import Event
 from repro.xmlstream.tree import XMLNode, events_to_tree, events_to_wrapped_tree
 
@@ -35,11 +36,25 @@ class BufferManager:
         factory: Optional[BufferFactory] = None,
     ):
         self.stats = stats or RunStatistics()
+        # One attribution ledger per RunStatistics: buffers charge their
+        # owner transactionally with every append/release, and the stats
+        # object snapshots the per-owner composition at each new peak.
+        if self.stats.attribution is None:
+            self.stats.attribution = BufferAttribution()
+        self.attribution = self.stats.attribution
         self._factory = factory
         self._live_buffers = 0
 
-    def create_buffer(self, name: str = "") -> "EventBuffer":
-        """Create a new, empty buffer registered with this manager."""
+    def create_buffer(self, name: str = "", *, source=None, scope: str = "") -> "EventBuffer":
+        """Create a new, empty buffer registered with this manager.
+
+        ``source`` is the compiled plan object the buffer serves (a
+        ``ScopeSpec`` or a deferred ``StreamCopyAction``) and ``scope`` the
+        element name it is opened under -- both feed the attribution
+        ledger's human-readable *reason*.
+        """
+        owner = self.attribution.ledger(name, source=source, scope=scope)
+        owner.buffers_created += 1
         self._live_buffers += 1
         if self._factory is not None:
             return self._factory(self, name)
@@ -70,6 +85,7 @@ class EventBuffer:
 
     def __init__(self, manager: BufferManager, name: str = ""):
         self._manager = manager
+        self._owner = manager.attribution.ledger(name)
         self._events: List[Event] = []
         self._count = 0
         self._cost = 0
@@ -110,6 +126,16 @@ class EventBuffer:
         cost = event.cost_in_bytes()
         self._count += 1
         self._cost += cost
+        # Owner ledger first, stats second: record_buffered snapshots the
+        # per-owner composition when it sets a new peak, so the owner's
+        # live bytes must already include this event.
+        owner = self._owner
+        owner.live_bytes += cost
+        owner.live_events += 1
+        owner.total_bytes += cost
+        owner.total_events += 1
+        if owner.live_bytes > owner.peak_bytes:
+            owner.peak_bytes = owner.live_bytes
         self._manager._notify_append(1, cost)
 
     def extend(self, events: Iterable[Event]) -> None:
@@ -129,6 +155,9 @@ class EventBuffer:
         if self._released:
             return
         self._released = True
+        owner = self._owner
+        owner.live_bytes -= self._cost
+        owner.live_events -= self._count
         self._manager._notify_release(self._count, self._cost)
         self._events = []
         self._count = 0

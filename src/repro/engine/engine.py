@@ -37,6 +37,7 @@ from __future__ import annotations
 import itertools
 import os
 import weakref
+from collections import deque
 from dataclasses import dataclass
 from typing import Iterator, Optional, Union
 
@@ -47,6 +48,8 @@ from repro.engine.plan import QueryPlan, compile_plan
 from repro.fastpath import FastEventPipeline, use_fastpath
 from repro.flux.ast import FluxExpr
 from repro.flux.rewrite import RewriteResult, rewrite_to_flux
+from repro.obs import recorder as _flight
+from repro.obs import serve as _serve
 from repro.obs.export import append_jsonl
 from repro.obs.observer import Observer, TraceReport, use_tracing
 from repro.obs.runtime import record_run
@@ -170,11 +173,13 @@ class StreamingRun:
         on_finish=None,
         observer=None,
         fastpath: bool = False,
+        options: Optional[ExecutionOptions] = None,
     ):
         self._executor = executor
         self._sink = sink
         self._batches = batches
         self._governor = governor if owns_governor else None
+        self._options = options
         self._consumed = False
         self._on_finish = on_finish
         self._observer = observer
@@ -260,6 +265,16 @@ class StreamingRun:
             self.trace = _finish_observation(observer, self.stats, fastpath=self._fastpath)
             if self._on_finish is not None:
                 self._on_finish(self.stats)
+        except Exception as exc:
+            # Abandonment (GeneratorExit) is not a crash; engine errors are.
+            _flight.dump_crash(
+                exc,
+                stats=self.stats,
+                options=self._options,
+                mode="stream",
+                fastpath=self._fastpath,
+            )
+            raise
         finally:
             # An owned governor is per-run: its spill file dies with the
             # stream, whether the consumer exhausted it or abandoned it.
@@ -297,6 +312,7 @@ class RunHandle:
         on_finish=None,
         observer=None,
         fastpath: bool = False,
+        options: Optional[ExecutionOptions] = None,
     ):
         self._executor = executor
         self._feed = feed
@@ -304,7 +320,14 @@ class RunHandle:
         self._on_finish = on_finish
         self._observer = observer
         self._fastpath = fastpath
+        self._options = options
         self._state = "open"
+        # Push-mode watermarks: raw units fed (bytes or characters, as
+        # fed) and the most recent chunk boundaries, for /progress and for
+        # the flight recorder's crash dumps.
+        self._fed_bytes = 0
+        self._chunks_fed = 0
+        self._chunk_offsets = deque(maxlen=256)
         self.stats: RunStatistics = executor.stats
         #: The completed run's result; set by :meth:`finish`.
         self.result: Optional[FluxRunResult] = None
@@ -324,6 +347,59 @@ class RunHandle:
             observer.stage("execute").seconds += span.record.seconds
         else:
             executor.begin()
+        _flight.RECORDER.note("run-begin", "push", fastpath)
+        # Every open push run is visible on /progress (whether or not a
+        # server is listening, registration is one dict insert).
+        self._progress_key = _serve.register_run(self._progress)
+
+    # ------------------------------------------------------------- progress
+
+    def _progress(self) -> dict:
+        """One JSON-ready watermark snapshot for the /progress endpoint."""
+        stats = self.stats
+        entry = {
+            "mode": "push",
+            "state": self._state,
+            "fastpath": self._fastpath,
+            "bytes_fed": self._fed_bytes,
+            "chunks_fed": self._chunks_fed,
+            "document_offset": stats.input_bytes,
+            "input_events": stats.input_events,
+            "output_events": stats.output_events,
+            "output_bytes": stats.output_bytes,
+            "buffered_bytes": stats.buffered_bytes_current,
+            "peak_buffered_bytes": stats.peak_buffered_bytes,
+        }
+        attribution = stats.attribution
+        if attribution is not None:
+            entry["owners"] = {
+                owner.variable: owner.live_bytes
+                for owner in attribution.owners.values()
+            }
+        observer = self._observer
+        if observer is not None and observer.enabled:
+            stages = {}
+            for name, stage in observer.stages.items():
+                seconds = stage.seconds
+                stages[name] = {
+                    "seconds": seconds,
+                    "events": stage.events,
+                    "throughput_events_per_s": (
+                        stage.events / seconds if seconds > 0 else 0.0
+                    ),
+                }
+            entry["stages"] = stages
+        return entry
+
+    def _dump_crash(self, error: BaseException) -> None:
+        _flight.dump_crash(
+            error,
+            stats=self.stats,
+            options=self._options,
+            mode="push",
+            fastpath=self._fastpath,
+            chunk_offsets=self._chunk_offsets,
+        )
 
     # ----------------------------------------------------------------- feed
 
@@ -345,6 +421,9 @@ class RunHandle:
                 "previous byte chunk is pending; feed the remaining bytes first"
             )
         observer = self._observer
+        size = len(chunk)
+        self._chunk_offsets.append(self._fed_bytes + size)
+        _flight.RECORDER.note("chunk", size, self._fed_bytes + size)
         try:
             batch = self._feed.feed(chunk)
             if batch:
@@ -354,9 +433,12 @@ class RunHandle:
                     observer.stage("execute").charge(span.record.seconds, len(batch))
                 else:
                     self._executor.process_batch(batch)
-        except Exception:
+        except Exception as exc:
+            self._dump_crash(exc)
             self.close()
             raise
+        self._fed_bytes += size
+        self._chunks_fed += 1
         return self._drain() if self._drain is not None else None
 
     def drain(self) -> str:
@@ -383,10 +465,13 @@ class RunHandle:
                 if tail:
                     self._executor.process_batch(tail)
                 execution = self._executor.finish()
-        except Exception:
+        except Exception as exc:
+            self._dump_crash(exc)
             self.close()
             raise
         self._state = "finished"
+        _serve.unregister_run(self._progress_key)
+        _flight.RECORDER.note("run-finish", "push", self.stats.output_bytes)
         self._abort_finalizer()  # no live buffers remain: a no-op teardown
         if self._finalizer is not None:
             self._finalizer()
@@ -404,6 +489,7 @@ class RunHandle:
         """
         if self._state == "open":
             self._state = "closed"
+        _serve.unregister_run(self._progress_key)
         self._abort_finalizer()
         if self._finalizer is not None:
             self._finalizer()
@@ -577,6 +663,10 @@ class FluxEngine:
             governor = self._make_governor(options)
             owned = True
         observer = Observer() if use_tracing(options.trace) else None
+        if options.serve_metrics is not None:
+            # Start (or reuse) the background /metrics + /progress server;
+            # the run itself executes identical code either way.
+            _serve.ensure_server(options.serve_metrics)
         return options, stats, bound_sink, governor, owned, observer
 
     def execute(
@@ -613,7 +703,15 @@ class FluxEngine:
                 observer=observer,
             )
             result: ExecutionResult = executor.run_batches(batches, observer=observer)
-        except BaseException:
+        except BaseException as exc:
+            if isinstance(exc, Exception):
+                _flight.dump_crash(
+                    exc,
+                    stats=stats,
+                    options=options,
+                    mode="pull",
+                    fastpath=pipeline is not self.pipeline,
+                )
             # A failed run must not leave its live buffers' pages charged
             # against a *shared* (session-owned) governor; an owned one is
             # closed below, which releases everything at once.
@@ -660,6 +758,7 @@ class FluxEngine:
             on_finish=on_finish,
             observer=observer,
             fastpath=pipeline is not self.pipeline,
+            options=options,
         )
 
     def stream(
@@ -693,6 +792,7 @@ class FluxEngine:
             on_finish=on_finish,
             observer=observer,
             fastpath=pipeline is not self.pipeline,
+            options=options,
         )
 
     # ------------------------------------------------- legacy run spellings

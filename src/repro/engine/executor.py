@@ -56,6 +56,7 @@ from repro.engine.plan import (
 )
 from repro.engine.projection import BufferTreeNode
 from repro.engine.stats import RunStatistics
+from repro.obs import recorder as _recorder
 from repro.engine.xquery_exec import (
     RuntimeEnvironment,
     ScopeBinding,
@@ -218,6 +219,9 @@ class StreamExecutor:
         self.sink = sink
         self.buffers = BufferManager(self.stats, factory=buffer_factory)
         self._count_input = count_input
+        # Bound at construction so a run started after the flight recorder
+        # is swapped (overhead benchmark, tests) picks up the new one.
+        self._recorder = _recorder.RECORDER
         self._started_at = 0.0
         self._stack: List[_Frame] = []
         self._active_scopes: Dict[str, List[ScopeActivation]] = {}
@@ -303,8 +307,18 @@ class StreamExecutor:
                 continue
             else:
                 raise TypeError(f"not an XML event: {event!r}")
-        if count and self._count_input:
-            self.stats.record_input(count, cost)
+        if count:
+            stats = self.stats
+            if self._count_input:
+                stats.record_input(count, cost)
+            stack = self._stack
+            self._recorder.note_batch(
+                count,
+                stats.input_bytes,
+                stats.buffered_bytes_current,
+                len(stack),
+                stack[-1].name if stack else None,
+            )
 
     def abort(self) -> None:
         """Best-effort teardown of an abandoned run.
@@ -358,7 +372,11 @@ class StreamExecutor:
     # ------------------------------------------------------- scope lifecycle
 
     def _open_scope(self, spec: ScopeSpec, element_name: str, frame: _Frame) -> ScopeActivation:
-        buffer = self.buffers.create_buffer(spec.var) if spec.needs_buffer else None
+        buffer = (
+            self.buffers.create_buffer(spec.var, source=spec, scope=element_name)
+            if spec.needs_buffer
+            else None
+        )
         activation = ScopeActivation(spec, element_name, buffer)
         if frame.scopes is _EMPTY:
             frame.scopes = [activation]
@@ -526,7 +544,9 @@ class StreamExecutor:
             # whole action at the end event (see StreamCopyAction.defer).
             buffer = None
             if action.copy_var is not None:
-                buffer = self.buffers.create_buffer(action.copy_var)
+                buffer = self.buffers.create_buffer(
+                    action.copy_var, source=action, scope=frame.name
+                )
                 buffer.append(event)
                 if frame.owns_sinks:
                     frame.subtree_sinks.append(buffer)

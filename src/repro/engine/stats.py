@@ -59,6 +59,20 @@ class RunStatistics:
     handler_executions: int = 0
     elapsed_seconds: float = 0.0
 
+    #: Per-owner buffer ledger (:class:`repro.obs.attrib.BufferAttribution`),
+    #: attached by the run's BufferManager.  Excluded from __init__/repr so
+    #: the public constructor surface is unchanged.
+    attribution: Optional[object] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+
+    @property
+    def buffer_attribution(self):
+        """Per-owner rows explaining ``peak_buffered_bytes`` (see
+        :mod:`repro.obs.attrib`); empty list when nothing was buffered."""
+        attribution = self.attribution
+        return [] if attribution is None else attribution.rows()
+
     # ------------------------------------------------------------- buffers
 
     def record_buffered(self, events: int, cost: int, settle_resident: bool = True) -> None:
@@ -77,6 +91,12 @@ class RunStatistics:
             self.peak_buffered_events = self.buffered_events_current
         if self.buffered_bytes_current > self.peak_buffered_bytes:
             self.peak_buffered_bytes = self.buffered_bytes_current
+            if self.attribution is not None:
+                # A new global high-water mark: capture its per-owner
+                # composition, which keeps sum(at_peak_bytes) exactly
+                # equal to peak_buffered_bytes (owners update their live
+                # bytes before this call).
+                self.attribution.snapshot_peak()
         self.resident_bytes_current += cost
         if settle_resident and self.resident_bytes_current > self.peak_resident_bytes:
             self.peak_resident_bytes = self.resident_bytes_current

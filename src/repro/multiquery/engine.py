@@ -28,6 +28,7 @@ from repro.engine.engine import FluxRunResult
 from repro.engine.executor import StreamExecutor
 from repro.engine.stats import RunStatistics
 from repro.fastpath import FastFanout, use_fastpath
+from repro.obs import recorder as _flight
 from repro.obs.metrics import global_registry
 from repro.obs.observer import Observer, TraceReport, use_tracing
 from repro.multiquery.registry import QueryRegistry, RegisteredQuery
@@ -265,7 +266,17 @@ class MultiQueryEngine:
                 for entry, execution in zip(entries, executions)
             }
             memory = governor.telemetry() if governor is not None else None
-        except BaseException:
+        except BaseException as exc:
+            if isinstance(exc, Exception):
+                # Forensics for the whole pass: the shared ring plus the
+                # first query's statistics stand in for the pass state.
+                _flight.dump_crash(
+                    exc,
+                    stats=stats_list[0] if stats_list else None,
+                    mode="multiquery",
+                    fastpath=fast,
+                    queries=[entry.name for entry in entries],
+                )
             # A failed pass must not leave N executors' live buffer pages
             # charged against an external (session-owned) governor; an
             # owned governor is closed below, releasing everything at once.

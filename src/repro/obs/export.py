@@ -16,6 +16,7 @@ Three consumers, three formats:
 from __future__ import annotations
 
 import json
+import os
 from typing import List
 
 from .metrics import MetricsRegistry
@@ -41,14 +42,46 @@ def trace_to_jsonl(report, run: int = 0) -> str:
 
 
 def append_jsonl(path: str, report, run: int = 0) -> None:
-    """Append one run's JSON-lines trace to ``path`` (the env-var sink)."""
-    with open(path, "a", encoding="utf-8") as handle:
+    """Append one run's JSON-lines trace to ``path`` (the env-var sink).
+
+    The append is atomic (write-temp-then-rename): a run crashing -- or the
+    process dying -- mid-dump can never leave ``path`` truncated inside a
+    JSON line.  Readers either see the file before the append or after it,
+    whole lines only.
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            existing = handle.read()
+    except FileNotFoundError:
+        existing = ""
+    tmp = f"{path}.{os.getpid()}.tmp"
+    with open(tmp, "w", encoding="utf-8") as handle:
+        handle.write(existing)
         handle.write(trace_to_jsonl(report, run=run))
+    os.replace(tmp, path)
 
 
 def _sanitize(name: str) -> str:
     """Metric names use dots internally; Prometheus wants underscores."""
     return name.replace(".", "_").replace("-", "_")
+
+
+def escape_label_value(value) -> str:
+    """Escape one label value per the Prometheus text exposition format:
+    backslash, double-quote and newline must be backslash-escaped inside
+    the ``label="..."`` quotes."""
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def _escape_help(text: str) -> str:
+    """HELP lines escape backslash and newline (a raw newline would start
+    a bogus new exposition line)."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
 
 
 def _format_value(value) -> str:
@@ -65,11 +98,12 @@ def prometheus_text(registry: MetricsRegistry) -> str:
     for instrument in registry.collect():
         name = _sanitize(instrument.name)
         if instrument.help:
-            lines.append(f"# HELP {name} {instrument.help}")
+            lines.append(f"# HELP {name} {_escape_help(instrument.help)}")
         lines.append(f"# TYPE {name} {instrument.kind}")
         if instrument.kind == "histogram":
             for bound, cumulative in instrument.cumulative():
-                lines.append(f'{name}_bucket{{le="{_format_value(bound)}"}} {cumulative}')
+                le = escape_label_value(_format_value(bound))
+                lines.append(f'{name}_bucket{{le="{le}"}} {cumulative}')
             lines.append(f'{name}_bucket{{le="+Inf"}} {instrument.count}')
             lines.append(f"{name}_sum {_format_value(instrument.sum)}")
             lines.append(f"{name}_count {instrument.count}")

@@ -31,6 +31,8 @@ from __future__ import annotations
 import time
 from typing import Callable, Dict, List, Optional
 
+from . import recorder as _recorder
+
 
 class SpanRecord:
     """One finished (or still-open) span: an interval in the span tree.
@@ -124,6 +126,9 @@ class Tracer:
             )
         self._stack.pop()
         record.end = self._clock()
+        # Span transitions feed the always-on flight recorder ring (traced
+        # runs only -- the NullTracer never reaches this method).
+        _recorder.RECORDER.note("span", record.name, record.end - record.start)
 
     @property
     def open_spans(self) -> int:

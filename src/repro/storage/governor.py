@@ -38,6 +38,7 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Callable, List, Optional
 
+from repro.obs import recorder as _recorder
 from repro.obs.metrics import global_registry
 from repro.storage.codec import decode_events, encode_events
 from repro.storage.spill import SpillStore
@@ -154,6 +155,7 @@ class MemoryGovernor:
         self._open_pages.pop(page, None)
         self._lru[page] = None
         _PAGES_SEALED.inc()
+        _recorder.RECORDER.note("seal", page.cost)
         self._enforce()
 
     def read_page(self, page) -> List["object"]:
@@ -168,6 +170,7 @@ class MemoryGovernor:
         payload = self.store.read(page.handle)
         self.fault_count += 1
         _FAULTS.inc()
+        _recorder.RECORDER.note("fault", len(payload))
         page.stats.record_page_fault(len(payload))
         return decode_events(payload)
 
@@ -207,6 +210,10 @@ class MemoryGovernor:
         self.spill_count += 1
         _EVICTIONS.inc()
         _SPILL_BYTES.inc(len(payload))
+        _recorder.RECORDER.note("evict", page.cost, len(payload))
+        if page.owner is not None:
+            page.owner.spilled_bytes += len(payload)
+            page.owner.spill_count += 1
         page.stats.record_spill(page.cost, len(payload))
 
     # ---------------------------------------------------------- lifecycle

@@ -33,18 +33,21 @@ class Page:
     ``events`` is the resident list, or ``None`` once the page is spilled
     (then ``handle`` addresses the payload in the spill store).  ``cost``
     and ``count`` are the slice's logical totals; ``stats`` is the owning
-    run's statistics, where spills and faults of this page are attributed.
+    run's statistics, where spills and faults of this page are attributed,
+    and ``owner`` the buffer's attribution ledger (spilled bytes are
+    charged to it when the governor evicts the page).
     """
 
-    __slots__ = ("events", "count", "cost", "sealed", "handle", "stats")
+    __slots__ = ("events", "count", "cost", "sealed", "handle", "stats", "owner")
 
-    def __init__(self, stats):
+    def __init__(self, stats, owner=None):
         self.events: Optional[List[Event]] = []
         self.count = 0
         self.cost = 0
         self.sealed = False
         self.handle = None
         self.stats = stats
+        self.owner = owner
 
 
 class PagedEventBuffer:
@@ -53,6 +56,7 @@ class PagedEventBuffer:
     def __init__(self, manager, governor, name: str = ""):
         self._manager = manager
         self._stats = manager.stats
+        self._owner = manager.attribution.ledger(name)
         self._governor = governor
         self._page_bytes = governor.page_bytes
         self._pages: List[Page] = []
@@ -113,7 +117,7 @@ class PagedEventBuffer:
         if page is None or page.sealed:
             # No tail yet, or the governor force-sealed (and evicted) the
             # previous tail to meet the budget: start a fresh page.
-            page = Page(self._stats)
+            page = Page(self._stats, self._owner)
             self._pages.append(page)
             self._open = page
             self._governor.open_page(page)
@@ -124,6 +128,15 @@ class PagedEventBuffer:
         self._count += 1
         self._cost += cost
         stats = self._stats
+        # Owner ledger before record_buffered: a fresh byte peak snapshots
+        # the per-owner composition, which must already include this event.
+        owner = self._owner
+        owner.live_bytes += cost
+        owner.live_events += 1
+        owner.total_bytes += cost
+        owner.total_events += 1
+        if owner.live_bytes > owner.peak_bytes:
+            owner.peak_bytes = owner.live_bytes
         stats.record_buffered(1, cost, False)
         governor = self._governor
         governor.resident_bytes += cost
@@ -155,6 +168,9 @@ class PagedEventBuffer:
             return
         self._released = True
         resident = self.resident_bytes
+        owner = self._owner
+        owner.live_bytes -= self._cost
+        owner.live_events -= self._count
         self._manager._notify_release(self._count, self._cost, resident=resident)
         discard = self._governor.discard
         for page in self._pages:

@@ -101,7 +101,7 @@ EXPECTED_SURFACE = r"""
         "type": "ExecutionOptions"
     },
     "ExecutionOptions": {
-        "init": "(self, collect_output: 'bool' = True, expand_attrs: 'bool' = False, memory_budget: 'Optional[int]' = None, memory_page_bytes: 'Optional[int]' = None, chunk_size: 'int' = 65536, fastpath: 'Optional[bool]' = None, trace: 'Optional[bool]' = None) -> None",
+        "init": "(self, collect_output: 'bool' = True, expand_attrs: 'bool' = False, memory_budget: 'Optional[int]' = None, memory_page_bytes: 'Optional[int]' = None, chunk_size: 'int' = 65536, fastpath: 'Optional[bool]' = None, trace: 'Optional[bool]' = None, serve_metrics: 'Optional[int]' = None) -> None",
         "kind": "class",
         "members": {
             "replace": "(self, **changes) -> \"'ExecutionOptions'\""
@@ -269,7 +269,7 @@ EXPECTED_SURFACE = r"""
         }
     },
     "RunHandle": {
-        "init": "(self, executor: 'StreamExecutor', feed, governor=None, owns_governor: 'bool' = True, on_finish=None, observer=None, fastpath: 'bool' = False)",
+        "init": "(self, executor: 'StreamExecutor', feed, governor=None, owns_governor: 'bool' = True, on_finish=None, observer=None, fastpath: 'bool' = False, options: 'Optional[ExecutionOptions]' = None)",
         "kind": "class",
         "members": {
             "close": "(self) -> 'None'",
@@ -282,6 +282,7 @@ EXPECTED_SURFACE = r"""
         "init": "(self, input_events: 'int' = 0, input_bytes: 'int' = 0, output_events: 'int' = 0, output_bytes: 'int' = 0, buffered_events_current: 'int' = 0, buffered_bytes_current: 'int' = 0, peak_buffered_events: 'int' = 0, peak_buffered_bytes: 'int' = 0, total_buffered_events: 'int' = 0, resident_bytes_current: 'int' = 0, peak_resident_bytes: 'int' = 0, spill_count: 'int' = 0, spilled_bytes_written: 'int' = 0, page_faults: 'int' = 0, spilled_bytes_read: 'int' = 0, condition_bytes_current: 'int' = 0, peak_condition_bytes: 'int' = 0, handler_executions: 'int' = 0, elapsed_seconds: 'float' = 0.0) -> None",
         "kind": "class",
         "members": {
+            "buffer_attribution": "<property>",
             "record_buffered": "(self, events: 'int', cost: 'int', settle_resident: 'bool' = True) -> 'None'",
             "record_condition_bytes": "(self, delta: 'int') -> 'None'",
             "record_freed": "(self, events: 'int', cost: 'int', resident: 'Optional[int]' = None) -> 'None'",
@@ -301,7 +302,7 @@ EXPECTED_SURFACE = r"""
         }
     },
     "StreamingRun": {
-        "init": "(self, executor: 'StreamExecutor', sink: 'FragmentSink', batches, governor=None, owns_governor: 'bool' = True, on_finish=None, observer=None, fastpath: 'bool' = False)",
+        "init": "(self, executor: 'StreamExecutor', sink: 'FragmentSink', batches, governor=None, owns_governor: 'bool' = True, on_finish=None, observer=None, fastpath: 'bool' = False, options: 'Optional[ExecutionOptions]' = None)",
         "kind": "class",
         "members": {
             "close": "(self) -> 'None'"

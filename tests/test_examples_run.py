@@ -72,6 +72,15 @@ def test_trace_run_example():
     assert "repro_runs_total" in out
 
 
+def test_explain_buffers_example():
+    out = _run("explain_buffers.py", "0.05")
+    assert "who owns the peak?" in out
+    assert "(exact)" in out
+    assert "reason:" in out
+    assert "no buffers were allocated" in out
+    assert "spills attributed" in out
+
+
 def test_every_example_is_exercised():
     """Every script in examples/ has a smoke test in this module."""
     scripts = {path.name for path in EXAMPLES_DIR.glob("*.py")}
@@ -83,5 +92,6 @@ def test_every_example_is_exercised():
         "xmark_benchmark.py",
         "push_feed.py",
         "trace_run.py",
+        "explain_buffers.py",
     }
     assert scripts == covered, f"examples without a smoke test: {scripts - covered}"
