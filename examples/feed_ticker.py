@@ -1,0 +1,99 @@
+"""Continuous feeds: one prepared query over an endless document stream.
+
+A single push-mode run ends with its document.  A market-data socket does
+not: complete documents keep arriving, concatenated, forever.
+``prepared.open_feed()`` (:mod:`repro.feeds`) consumes such a stream --
+chunk boundaries land anywhere, including across document boundaries --
+and seals a per-document result at every root close, with buffers back at
+the zero floor each time.
+
+The example streams the synthetic XMark auction ticker
+(:mod:`repro.xmark.ticker`) through XMark Q1 and shows
+
+* per-document framing: exact byte offsets and byte-identical output
+  versus running each tick document solo,
+* the flat memory floor: live buffered bytes are zero at every boundary,
+* crash-safe resume: the feed is killed mid-stream, restarted with
+  ``resume_from=<reported offset>``, and replays the remaining documents
+  byte-identically.
+
+Run with::
+
+    python examples/feed_ticker.py          # 12 tick documents
+    python examples/feed_ticker.py 0.05     # bigger ticks (scale 0.05)
+"""
+
+import sys
+
+from repro import FluxSession
+from repro.xmark.dtd import xmark_dtd
+from repro.xmark.queries import BENCHMARK_QUERIES
+from repro.xmark.ticker import iter_ticker_chunks, ticker_document
+
+DOCUMENTS = 12
+CHUNK_BYTES = 2039  # a prime: boundaries drift through markup and ticks alike
+
+
+def main() -> None:
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.01
+    session = FluxSession(xmark_dtd())
+    query = session.prepare(BENCHMARK_QUERIES["Q1"])
+
+    # Reference: every tick document executed solo through the same plan.
+    solo = [
+        query.execute(ticker_document(i, scale=scale)).output
+        for i in range(DOCUMENTS)
+    ]
+
+    # --- one feed over the whole concatenated stream ----------------------
+    documents = []
+    with query.open_feed(on_document=documents.append) as feed:
+        for chunk in iter_ticker_chunks(
+            documents=DOCUMENTS, scale=scale, chunk_size=CHUNK_BYTES
+        ):
+            feed.feed(chunk)
+    summary = feed.result
+
+    identical = [d.result.output for d in documents] == solo
+    floors = {d.result.stats.buffered_bytes_current for d in documents}
+    print(f"documents completed  : {summary.documents_completed:>10}")
+    print(f"stream bytes         : {summary.bytes_fed:>10}")
+    print(f"final resume offset  : {summary.resume_offset:>10}")
+    print(f"byte-identical to solo runs : {identical}")
+    print(f"live bytes at every boundary: {sorted(floors)} (the flat floor)")
+    for document in documents[:3]:
+        print(
+            f"  doc {document.index}: bytes "
+            f"[{document.start_offset:>6}, {document.end_offset:>6}) "
+            f"output={document.result.stats.output_bytes}B"
+        )
+
+    # --- crash mid-stream, resume from the reported offset ----------------
+    crashed = query.open_feed()
+    seen = 0
+    for chunk in iter_ticker_chunks(
+        documents=DOCUMENTS, scale=scale, chunk_size=CHUNK_BYTES
+    ):
+        seen += len(crashed.feed(chunk))
+        if seen >= DOCUMENTS // 2:
+            break
+    crashed.close()  # the "crash": the handle still reports the offset
+    offset = crashed.resume_offset
+
+    replayed = []
+    with query.open_feed(
+        resume_from=offset, on_document=replayed.append
+    ) as resumed:
+        for chunk in iter_ticker_chunks(
+            documents=DOCUMENTS, scale=scale, chunk_size=CHUNK_BYTES
+        ):
+            resumed.feed(chunk)
+
+    replay_identical = [d.result.output for d in replayed] == solo[seen:]
+    print(f"crashed after        : {seen:>10} documents (offset {offset})")
+    print(f"resumed replayed     : {len(replayed):>10} documents")
+    print(f"resume byte-identical to the uninterrupted run: {replay_identical}")
+
+
+if __name__ == "__main__":
+    main()

@@ -61,7 +61,11 @@ from repro.core import (
     CollectSink,
     CompiledQuery,
     DEFAULT_OPTIONS,
+    DocumentResult,
     ExecutionOptions,
+    FeedHandle,
+    FeedOptions,
+    FeedResult,
     FluxEngine,
     FluxRunResult,
     FluxSession,
@@ -105,7 +109,11 @@ __all__ = [
     "CollectSink",
     "CompiledQuery",
     "DEFAULT_OPTIONS",
+    "DocumentResult",
     "ExecutionOptions",
+    "FeedHandle",
+    "FeedOptions",
+    "FeedResult",
     "FluxEngine",
     "FluxRunResult",
     "FluxSession",

@@ -12,6 +12,8 @@ Python code::
     python -m repro xmark    --query Q13 --scale 0.1
     python -m repro fuzz     --seed 1 --cases 200
     python -m repro fuzz     --replay fuzz-failures/seed1-case23.case
+    python -m repro feed     --query Q1 --documents 100 --chunk-size 4096
+    python -m repro feed     --query q.xq --dtd bib.dtd --root bib --input stream.xml
     python -m repro inspect  crash-dumps/repro-1234-1.crash.json
 
 ``compile`` prints the scheduled FluX query and the buffer trees; ``run``
@@ -37,6 +39,16 @@ for the duration of the command).  ``inspect`` renders the
 ``*.crash.json`` forensic dumps the flight recorder writes when
 ``REPRO_CRASH_DIR`` is set and an engine error aborts a run.
 
+``feed`` runs one prepared query as a continuous feed
+(:mod:`repro.feeds`) over a stream of concatenated documents: either the
+synthetic XMark auction ticker (default; ``--documents``/``--scale``/
+``--seed`` shape it) or a file of concatenated documents (``--input``,
+with ``--dtd``/``--root`` naming their schema).  The stream is cut into
+``--chunk-size``-byte chunks, so document boundaries land mid-chunk; the
+summary line reports documents/second and the final resume offset, and
+``--resume-from`` skips an already-processed prefix (the crash-recovery
+recipe: pass the resume offset a previous run printed or dumped).
+
 ``fuzz`` drives the randomized conformance harness
 (:mod:`repro.conformance`): ``--seed``/``--cases`` sweep generated
 (DTD, document, queries) triples through every engine and sink mode,
@@ -61,6 +73,7 @@ from repro.storage import parse_memory_budget
 from repro.xmark.dtd import XMARK_DTD_SOURCE
 from repro.xmark.generator import config_for_scale, write_document, generate_document
 from repro.xmark.queries import BENCHMARK_QUERIES
+from repro.xmark.ticker import DEFAULT_TICK_SCALE, iter_ticker_chunks
 from repro.xmlstream.parser import iter_events
 
 
@@ -400,6 +413,85 @@ def _cmd_xmark(args) -> int:
     return 0
 
 
+def _iter_file_chunks(path: str, chunk_size: int):
+    with open(path, "rb") as handle:
+        while True:
+            chunk = handle.read(chunk_size)
+            if not chunk:
+                return
+            yield chunk
+
+
+def _cmd_feed(args) -> int:
+    import time
+
+    if args.chunk_size <= 0:
+        print("error: --chunk-size must be positive", file=sys.stderr)
+        return 2
+    if args.input is None:
+        schema = load_dtd(XMARK_DTD_SOURCE, root_element=args.root or "site")
+        chunks = iter_ticker_chunks(
+            documents=args.documents,
+            seed=args.seed,
+            scale=args.scale,
+            chunk_size=args.chunk_size,
+        )
+        source = f"ticker({args.documents} docs, scale {args.scale}, seed {args.seed})"
+    else:
+        schema = _load_schema(args)
+        chunks = _iter_file_chunks(args.input, args.chunk_size)
+        source = args.input
+
+    _serve_metrics_banner(args.serve_metrics)
+    session = FluxSession(
+        schema,
+        options=ExecutionOptions(
+            memory_budget=args.memory_budget,
+            fastpath=True if args.fastpath else None,
+            serve_metrics=args.serve_metrics,
+        ),
+    )
+    prepared = session.prepare(_resolve_query(args.query))
+
+    def on_document(document) -> None:
+        if args.show_output:
+            print(document.result.output)
+        if args.verbose:
+            print(
+                f"doc {document.index}: bytes "
+                f"[{document.start_offset}, {document.end_offset}) "
+                f"output={document.result.stats.output_bytes}B "
+                f"peak-buffer={document.result.stats.peak_buffered_bytes}B",
+                file=sys.stderr,
+            )
+
+    def on_heartbeat(progress) -> None:
+        print(
+            f"heartbeat: {progress['bytes_fed']}B fed, "
+            f"{progress['documents_completed']} documents, "
+            f"resume offset {progress['resume_offset']}",
+            file=sys.stderr,
+        )
+
+    started = time.perf_counter()
+    with prepared.open_feed(
+        on_document=on_document,
+        on_heartbeat=on_heartbeat if args.heartbeat else None,
+        resume_from=args.resume_from,
+    ) as feed:
+        for chunk in chunks:
+            feed.feed(chunk)
+    elapsed = time.perf_counter() - started
+    summary = feed.result
+    rate = summary.documents_completed / elapsed if elapsed > 0 else float("inf")
+    print(
+        f"feed over {source}: {summary.documents_completed} documents, "
+        f"{summary.bytes_fed} bytes in {elapsed:.3f}s ({rate:.1f} docs/s), "
+        f"resume offset {summary.resume_offset}"
+    )
+    return 0
+
+
 def _cmd_inspect(args) -> int:
     from repro.obs.recorder import inspect_crash
 
@@ -577,6 +669,61 @@ def build_parser() -> argparse.ArgumentParser:
     _add_memory_budget_argument(xmark_parser)
     _add_trace_argument(xmark_parser)
     xmark_parser.set_defaults(handler=_cmd_xmark)
+
+    feed_parser = subparsers.add_parser(
+        "feed",
+        help="run one query as a continuous feed over a stream of concatenated documents",
+    )
+    _add_query_argument(feed_parser)
+    _add_schema_arguments(feed_parser)
+    feed_parser.add_argument(
+        "--input",
+        help=(
+            "file of concatenated documents to stream (omit to generate the "
+            "synthetic XMark auction ticker instead)"
+        ),
+    )
+    feed_parser.add_argument(
+        "--documents",
+        type=int,
+        default=100,
+        help="ticker mode: number of tick documents to stream",
+    )
+    feed_parser.add_argument(
+        "--scale",
+        type=float,
+        default=DEFAULT_TICK_SCALE,
+        help="ticker mode: per-tick document scale",
+    )
+    feed_parser.add_argument("--seed", type=int, default=42, help="ticker mode: generator seed")
+    feed_parser.add_argument(
+        "--chunk-size",
+        type=int,
+        default=8192,
+        metavar="BYTES",
+        help="cut the stream into chunks of this many bytes (boundaries land anywhere)",
+    )
+    feed_parser.add_argument(
+        "--resume-from",
+        type=int,
+        default=None,
+        metavar="OFFSET",
+        help=(
+            "skip this many stream bytes before processing: the resume offset "
+            "a previous run printed (or its crash dump recorded)"
+        ),
+    )
+    feed_parser.add_argument(
+        "--show-output", action="store_true", help="print each document's result to stdout"
+    )
+    feed_parser.add_argument(
+        "--heartbeat", action="store_true", help="print heartbeat punctuation lines to stderr"
+    )
+    feed_parser.add_argument("--verbose", action="store_true", help="per-document progress on stderr")
+    _add_fastpath_argument(feed_parser)
+    _add_memory_budget_argument(feed_parser)
+    _add_serve_metrics_argument(feed_parser)
+    feed_parser.set_defaults(handler=_cmd_feed)
 
     inspect_parser = subparsers.add_parser(
         "inspect",

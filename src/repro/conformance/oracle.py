@@ -25,7 +25,17 @@ execution path the repo has grown:
   at adversarial chunk boundaries -- right before and right after every
   ``<`` (every tag truncated mid-markup) and at a fixed tiny prime stride
   (entities, names and text all straddle chunks).  Push mode must be
-  byte-identical to pull mode at *any* split.
+  byte-identical to pull mode at *any* split,
+* the **continuous feed** (:mod:`repro.feeds`): the case document
+  concatenated three times into one stream, consumed through
+  ``open_feed`` on both pipelines with chunk splits placed right before,
+  at, and right after every document-boundary byte, and again at the
+  prime stride.  Every sealed document's output must be byte-identical
+  to the solo run, its live-buffer counters must be back at the floor
+  (zero) at the boundary, and its logical peak must equal the solo peak;
+  a second feed resumed from the first document's recorded
+  ``end_offset`` must replay the remaining documents byte-identically
+  (the crash-recovery contract).
 
 Byte-identity across all of them is the FluX guarantee (Proposition 3.2 /
 Theorem 4.3) the paper's correctness story rests on.  On top of identity
@@ -218,6 +228,18 @@ class Oracle:
         first_name, first_source = case.queries[0]
         self._check_serve(
             case, session, first_name, first_source, solo_outputs[first_name], report
+        )
+        if report.divergences:
+            return report
+
+        self._check_feed(
+            case,
+            session,
+            first_name,
+            first_source,
+            solo_outputs[first_name],
+            solo_peaks[first_name],
+            report,
         )
         if report.divergences:
             return report
@@ -538,6 +560,146 @@ class Oracle:
         report.buffered = report.buffered or peak > 0
         report.forced_spills = report.forced_spills or stats.spill_count > 0
         return expected, peak
+
+    # --------------------------------------------------------- continuous feed
+
+    #: Documents per oracle feed stream: enough for interior boundaries
+    #: (first, middle, last) without dominating the sweep's runtime.
+    FEED_COPIES = 3
+
+    def _check_feed(
+        self,
+        case: Case,
+        session: FluxSession,
+        name: str,
+        source: str,
+        expected: str,
+        peak: int,
+        report: CaseReport,
+    ) -> None:
+        """The case document concatenated FEED_COPIES times, as one feed.
+
+        Chunk splits are placed right before, at, and right after every
+        document-boundary byte (the splits most likely to confuse boundary
+        detection), then at the prime stride; both pipelines run both
+        families.  Per sealed document: byte-identity with the solo run,
+        live buffers back at the zero floor, logical peak equal to the solo
+        peak.  Finally one resumed feed replays everything past the first
+        document's recorded ``end_offset`` byte-identically.
+        """
+        record = report.divergences.append
+        doc = case.document.encode("utf-8")
+        unit = len(doc) + 1  # document plus its "\n" separator
+        stream = (doc + b"\n") * self.FEED_COPIES
+        cuts = sorted(
+            point
+            for copy in range(1, self.FEED_COPIES + 1)
+            for point in (copy * unit - 2, copy * unit - 1, copy * unit)
+            if 0 < point < len(stream)
+        )
+        boundary_chunks = [
+            stream[begin:end]
+            for begin, end in zip([0, *cuts], [*cuts, len(stream)])
+        ]
+        stride_chunks = [
+            stream[i : i + FEED_STRIDE] for i in range(0, len(stream), FEED_STRIDE)
+        ]
+        first_end = None
+        for fast in (False, True):
+            options = ExecutionOptions(
+                fastpath=True if fast else None, expand_attrs=case.expand_attrs
+            )
+            for family, chunks in (
+                ("boundary-splits", boundary_chunks),
+                (f"stride-{FEED_STRIDE}", stride_chunks),
+            ):
+                label = f"feed-{family}{'-fastpath' if fast else ''}"
+                documents = self._run_feed(session, source, options, chunks, record, name, label)
+                if documents is None:
+                    return
+                self._check_feed_documents(name, label, documents, expected, peak, record)
+                if documents and first_end is None:
+                    first_end = documents[0].end_offset
+
+        # Crash-recovery contract: resume past document 0, replay the rest.
+        if first_end is not None and self.FEED_COPIES > 1:
+            label = "feed-resume"
+            documents = self._run_feed(
+                session,
+                source,
+                ExecutionOptions(expand_attrs=case.expand_attrs),
+                boundary_chunks,
+                record,
+                name,
+                label,
+                resume_from=first_end,
+            )
+            if documents is None:
+                return
+            if len(documents) != self.FEED_COPIES - 1:
+                record(
+                    Divergence(
+                        name,
+                        label,
+                        f"resume from {first_end} replayed {len(documents)} documents, "
+                        f"expected {self.FEED_COPIES - 1}",
+                    )
+                )
+            self._check_feed_documents(name, label, documents, expected, peak, record)
+
+    @staticmethod
+    def _run_feed(session, source, options, chunks, record, name, label, resume_from=None):
+        """One oracle feed pass; returns the sealed documents or None on crash."""
+        try:
+            feed = session.prepare(source).open_feed(
+                options=options, resume_from=resume_from
+            )
+            documents = []
+            for chunk in chunks:
+                documents.extend(feed.feed(chunk))
+            summary = feed.finish()
+        except Exception as exc:  # noqa: BLE001 - feed crashes are findings
+            record(Divergence(name, label, f"feed crashed: {exc!r}"))
+            return None
+        if documents and summary.resume_offset != documents[-1].end_offset:
+            record(
+                Divergence(
+                    name,
+                    label,
+                    f"resume_offset {summary.resume_offset} != last document "
+                    f"end_offset {documents[-1].end_offset}",
+                )
+            )
+        return documents
+
+    def _check_feed_documents(self, name, label, documents, expected, peak, record) -> None:
+        for document in documents:
+            where = f"document {document.index}"
+            if document.result.output != expected:
+                record(
+                    Divergence(
+                        name, label, f"{where}: {_diff(expected, document.result.output)}"
+                    )
+                )
+            self._check_balanced(name, f"{label}:{where}", document.result.stats, record)
+            if document.result.stats.peak_buffered_bytes != peak:
+                record(
+                    Divergence(
+                        name,
+                        label,
+                        f"{where}: per-document peak "
+                        f"{document.result.stats.peak_buffered_bytes}B != solo peak {peak}B",
+                    )
+                )
+            if document.end_offset <= document.start_offset:
+                record(
+                    Divergence(
+                        name,
+                        label,
+                        f"{where}: degenerate framing "
+                        f"[{document.start_offset}, {document.end_offset})",
+                    )
+                )
 
     # ------------------------------------------------------- live inspection
 

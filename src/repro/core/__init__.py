@@ -31,7 +31,7 @@ from repro.core.api import (
     run_query_streaming,
     run_query_to_sink,
 )
-from repro.core.options import DEFAULT_OPTIONS, ExecutionOptions
+from repro.core.options import DEFAULT_OPTIONS, ExecutionOptions, FeedOptions
 from repro.core.session import (
     FluxSession,
     PlanCache,
@@ -43,6 +43,7 @@ from repro.core.session import (
 from repro.baselines import NaiveDomEngine, ProjectionDomEngine
 from repro.engine.engine import FluxEngine, FluxRunResult, RunHandle, StreamingRun
 from repro.engine.stats import RunStatistics
+from repro.feeds import DocumentResult, FeedHandle, FeedResult
 from repro.multiquery import MultiQueryEngine, MultiQueryRun, QueryRegistry
 from repro.pipeline.sinks import (
     CollectSink,
@@ -65,7 +66,11 @@ __all__ = [
     "CollectSink",
     "CompiledQuery",
     "DEFAULT_OPTIONS",
+    "DocumentResult",
     "ExecutionOptions",
+    "FeedHandle",
+    "FeedOptions",
+    "FeedResult",
     "FluxEngine",
     "FluxRunResult",
     "FluxSession",

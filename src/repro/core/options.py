@@ -28,6 +28,37 @@ from repro.xmlstream.parser import DEFAULT_CHUNK_SIZE
 
 
 @dataclass(frozen=True)
+class FeedOptions:
+    """Knobs for continuous document feeds (:mod:`repro.feeds`).
+
+    Parameters
+    ----------
+    heartbeat_interval_bytes:
+        How often (in fed bytes) the feed's heartbeat callback fires --
+        punctuation for monitors of otherwise-quiet streams.  Only
+        meaningful when the feed is opened with an ``on_heartbeat``
+        callback.
+    resume_offset:
+        Absolute byte offset into the stream at which processing starts;
+        everything before it is discarded unparsed.  Pass the
+        ``resume_offset`` reported by a previous (crashed or closed) feed
+        over the same stream to skip its already-completed documents.
+    """
+
+    heartbeat_interval_bytes: int = 1 << 20
+    resume_offset: int = 0
+
+    def __post_init__(self) -> None:
+        if self.heartbeat_interval_bytes <= 0:
+            raise ValueError(
+                "heartbeat_interval_bytes must be positive, "
+                f"got {self.heartbeat_interval_bytes}"
+            )
+        if self.resume_offset < 0:
+            raise ValueError(f"resume_offset must be >= 0, got {self.resume_offset}")
+
+
+@dataclass(frozen=True)
 class ExecutionOptions:
     """Per-run execution knobs, shared by every public execution path.
 
@@ -70,6 +101,10 @@ class ExecutionOptions:
         all port-0 requests).  ``None`` (the default) serves nothing.
         Serving never changes output bytes -- the runs execute identical
         code whether or not anyone is watching.
+    feed:
+        Continuous-feed knobs (:class:`FeedOptions`) for
+        :meth:`~repro.core.session.PreparedQuery.open_feed`; ignored by
+        single-document runs.  ``None`` uses the feed defaults.
     """
 
     collect_output: bool = True
@@ -80,6 +115,7 @@ class ExecutionOptions:
     fastpath: Optional[bool] = None
     trace: Optional[bool] = None
     serve_metrics: Optional[int] = None
+    feed: Optional[FeedOptions] = None
 
     def __post_init__(self) -> None:
         if self.memory_budget is not None and self.memory_budget <= 0:
@@ -92,6 +128,8 @@ class ExecutionOptions:
             raise ValueError(
                 f"serve_metrics must be a TCP port (>= 0), got {self.serve_metrics!r}"
             )
+        if self.feed is not None and not isinstance(self.feed, FeedOptions):
+            raise ValueError(f"feed must be a FeedOptions, got {self.feed!r}")
 
     def replace(self, **changes) -> "ExecutionOptions":
         """A copy with the given fields changed (validation re-runs)."""

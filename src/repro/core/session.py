@@ -52,6 +52,7 @@ from repro.dtd.parser import parse_dtd
 from repro.dtd.schema import DTD
 from repro.engine.engine import FluxEngine, FluxRunResult, RunHandle, StreamingRun, ensure_rooted
 from repro.engine.stats import RunStatistics
+from repro.feeds import FeedHandle
 from repro.flux.ast import FluxExpr
 from repro.multiquery import MultiQueryEngine, MultiQueryRun, QueryRegistry
 from repro.obs.metrics import global_registry
@@ -357,6 +358,40 @@ class PreparedQuery:
             governor=governor,
             owns_governor=owned,
             on_finish=lambda stats: self.session.statistics.absorb(stats, feed=True),
+        )
+
+    def open_feed(
+        self,
+        sink=None,
+        *,
+        options: Optional[ExecutionOptions] = None,
+        on_document=None,
+        on_heartbeat=None,
+        resume_from: Optional[int] = None,
+        **overrides,
+    ) -> "FeedHandle":
+        """Open a continuous feed: unboundedly many concatenated documents.
+
+        Each document executes as its own push run over the shared compiled
+        plan (buffers, statistics and attribution reset at every boundary),
+        against the session's shared memory governor when one is
+        configured.  ``on_document`` receives each sealed
+        :class:`~repro.feeds.DocumentResult`; ``on_heartbeat`` fires every
+        ``options.feed.heartbeat_interval_bytes`` fed bytes; ``resume_from``
+        (or ``options.feed.resume_offset``) skips an already-processed
+        stream prefix byte-exactly.  See :mod:`repro.feeds`.
+        """
+        options = self.session._resolve_options(options, overrides)
+        governor, owned = self.session._governor_for(options)
+        return self.engine.open_feed(
+            sink=sink,
+            options=options,
+            governor=governor,
+            owns_governor=owned,
+            on_finish=lambda stats: self.session.statistics.absorb(stats, feed=True),
+            on_document=on_document,
+            on_heartbeat=on_heartbeat,
+            resume_from=resume_from,
         )
 
 

@@ -313,6 +313,7 @@ class RunHandle:
         observer=None,
         fastpath: bool = False,
         options: Optional[ExecutionOptions] = None,
+        annotations: Optional[dict] = None,
     ):
         self._executor = executor
         self._feed = feed
@@ -321,6 +322,9 @@ class RunHandle:
         self._observer = observer
         self._fastpath = fastpath
         self._options = options
+        # Caller-supplied watermarks (a feed's exact document offsets);
+        # merged into /progress snapshots and crash dumps verbatim.
+        self._annotations = annotations
         self._state = "open"
         # Push-mode watermarks: raw units fed (bytes or characters, as
         # fed) and the most recent chunk boundaries, for /progress and for
@@ -370,6 +374,8 @@ class RunHandle:
             "buffered_bytes": stats.buffered_bytes_current,
             "peak_buffered_bytes": stats.peak_buffered_bytes,
         }
+        if self._annotations:
+            entry.update(self._annotations)
         attribution = stats.attribution
         if attribution is not None:
             entry["owners"] = {
@@ -399,6 +405,7 @@ class RunHandle:
             mode="push",
             fastpath=self._fastpath,
             chunk_offsets=self._chunk_offsets,
+            context=self._annotations,
         )
 
     # ----------------------------------------------------------------- feed
@@ -734,6 +741,8 @@ class FluxEngine:
         governor: Optional[MemoryGovernor] = None,
         owns_governor: bool = True,
         on_finish=None,
+        stop_at_root_close: bool = False,
+        annotations: Optional[dict] = None,
     ) -> RunHandle:
         """Open a **push-mode** run: the caller feeds document chunks.
 
@@ -741,6 +750,12 @@ class FluxEngine:
         protocol.  Unlike :meth:`execute` there is no document argument --
         the input arrives through :meth:`RunHandle.feed`, split at arbitrary
         byte/character boundaries.
+
+        ``stop_at_root_close`` makes the run parse exactly one document and
+        park any surplus bytes for the caller (:mod:`repro.feeds` uses this
+        to chain documents); ``annotations`` are caller watermarks (e.g. a
+        feed's absolute document offsets) echoed into /progress snapshots
+        and crash dumps.
         """
         options, stats, bound_sink, governor, owned, observer = self._run_setup(
             options, sink, governor, owns_governor
@@ -748,7 +763,10 @@ class FluxEngine:
         executor = self._executor(sink=bound_sink, stats=stats, governor=governor)
         pipeline = self._pipeline_for(options)
         feed = pipeline.open_feed(
-            expand_attrs=options.expand_attrs, stats=stats, observer=observer
+            expand_attrs=options.expand_attrs,
+            stats=stats,
+            observer=observer,
+            stop_at_root_close=stop_at_root_close,
         )
         return RunHandle(
             executor,
@@ -759,6 +777,46 @@ class FluxEngine:
             observer=observer,
             fastpath=pipeline is not self.pipeline,
             options=options,
+            annotations=annotations,
+        )
+
+    def open_feed(
+        self,
+        *,
+        sink=None,
+        options: Optional[ExecutionOptions] = None,
+        governor: Optional[MemoryGovernor] = None,
+        owns_governor: bool = True,
+        on_finish=None,
+        on_document=None,
+        on_heartbeat=None,
+        resume_from: Optional[int] = None,
+    ):
+        """Open a **continuous feed**: one handle, unboundedly many documents.
+
+        Returns a :class:`repro.feeds.FeedHandle` consuming a stream of
+        concatenated documents; per-document results are framed through
+        ``on_document`` (and the return value of ``feed``).  See
+        :mod:`repro.feeds` for the full protocol.
+        """
+        from repro.feeds import FeedHandle  # engine <- feeds would cycle at import time
+
+        if options is None:
+            options = self._run_options()
+        owned = owns_governor
+        if governor is None:
+            governor = self._make_governor(options)
+            owned = True
+        return FeedHandle(
+            self,
+            sink=sink,
+            options=options,
+            governor=governor,
+            owns_governor=owned,
+            on_finish=on_finish,
+            on_document=on_document,
+            on_heartbeat=on_heartbeat,
+            resume_from=resume_from,
         )
 
     def stream(

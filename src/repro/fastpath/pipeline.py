@@ -29,6 +29,7 @@ from repro.fastpath.scanner import ByteScanner
 from repro.fastpath.source import resolve_bytes_source
 from repro.fastpath.tags import TagTable
 from repro.pipeline.projection import ProjectionSpec
+from repro.xmlstream.errors import XMLWellFormednessError
 from repro.xmlstream.events import Event
 from repro.xmlstream.parser import DEFAULT_CHUNK_SIZE, DocumentSource
 
@@ -177,14 +178,21 @@ class FastEventPipeline:
     # ------------------------------------------------------------- push mode
 
     def open_feed(
-        self, *, expand_attrs: bool = False, stats=None, observer=None
+        self,
+        *,
+        expand_attrs: bool = False,
+        stats=None,
+        observer=None,
+        stop_at_root_close: bool = False,
     ) -> "FastPipelineFeed":
         """Open an incremental (push-mode) instance of the document stages."""
         if expand_attrs:
             raise ValueError(
                 "the fast path does not support expand_attrs; use the classic pipeline"
             )
-        return FastPipelineFeed(self, stats=stats, observer=observer)
+        return FastPipelineFeed(
+            self, stats=stats, observer=observer, stop_at_root_close=stop_at_root_close
+        )
 
 
 class FastPipelineFeed:
@@ -199,8 +207,17 @@ class FastPipelineFeed:
 
     __slots__ = ("_scanner", "_stats", "_record", "_finished", "_observer")
 
-    def __init__(self, pipeline: FastEventPipeline, *, stats=None, observer=None):
-        self._scanner = ByteScanner(pipeline.tags, pipeline.table)
+    def __init__(
+        self,
+        pipeline: FastEventPipeline,
+        *,
+        stats=None,
+        observer=None,
+        stop_at_root_close: bool = False,
+    ):
+        self._scanner = ByteScanner(
+            pipeline.tags, pipeline.table, stop_at_root_close=stop_at_root_close
+        )
         self._record = stats is not None and pipeline.projection_enabled
         self._stats = stats
         self._finished = False
@@ -242,14 +259,34 @@ class FastPipelineFeed:
         return events
 
     def finish(self) -> List[Event]:
-        """Signal end of input; returns (and stages) any remaining events."""
+        """Signal end of input; returns (and stages) any remaining events.
+
+        A byte feed ending mid-multi-byte-UTF-8-sequence raises the same
+        truncated-document error (message and offset) as the classic feed's
+        incremental decoder.
+        """
         if self._finished:
             return []
         self._finished = True
+        truncated_at = self._scanner.incomplete_tail_at()
+        if truncated_at is not None:
+            raise XMLWellFormednessError(
+                "truncated document: incomplete UTF-8 sequence at end of input",
+                truncated_at,
+            )
         batch = self._scanner.close_batch()
         if self._record and batch.seen:
             self._stats.record_input(batch.seen, batch.cost)
         return batch.materialize()
+
+    @property
+    def root_closed(self) -> bool:
+        """True once the root element closed (``stop_at_root_close`` mode)."""
+        return self._scanner.root_closed
+
+    def take_remainder(self) -> bytes:
+        """Bytes fed past the closed root element (the next document's)."""
+        return self._scanner.take_remainder()
 
 
 __all__ = ["FastEventPipeline", "FastPipelineFeed"]

@@ -91,9 +91,11 @@ class ByteScanner:
         "_seen_root",
         "_pending",
         "_offset",
+        "_stop_root",
+        "_root_closed",
     )
 
-    def __init__(self, tags: TagTable, table: FlatProjectionTable):
+    def __init__(self, tags: TagTable, table: FlatProjectionTable, *, stop_at_root_close: bool = False):
         self.tags = tags
         self.table = table
         self._stack: List[object] = []  # tag ids; raw name bytes past the cap
@@ -103,6 +105,8 @@ class ByteScanner:
         self._seen_root = False
         self._pending = b""
         self._offset = 0  # absolute byte offset of the pending tail
+        self._stop_root = stop_at_root_close
+        self._root_closed = False
 
     # -------------------------------------------------------------- push mode
 
@@ -114,15 +118,39 @@ class ByteScanner:
         only byte chunks may be fed (appending encoded text would interleave
         it into the middle of a code point).
         """
-        tail = self._pending[-4:]
+        return self.incomplete_tail_at() is not None
+
+    def incomplete_tail_at(self):
+        """Absolute offset of a trailing incomplete UTF-8 sequence, or None.
+
+        Used at EOF to turn a partial multi-byte code point into the same
+        truncated-document error (message *and* offset) the classic path's
+        incremental decoder produces.
+        """
+        pending = self._pending
+        tail = pending[-4:]
         for index in range(len(tail) - 1, -1, -1):
             byte = tail[index]
             if byte < 0x80:
-                return False
+                return None
             if byte >= 0xC0:
-                need = 2 if byte < 0xE0 else (3 if byte < 0xF0 else 4)
-                return len(tail) - index < need
-        return False
+                incomplete = len(tail) - index
+                if incomplete < (2 if byte < 0xE0 else (3 if byte < 0xF0 else 4)):
+                    return self._offset + len(pending) - incomplete
+                return None
+        return None
+
+    @property
+    def root_closed(self) -> bool:
+        """True once the root element closed (``stop_at_root_close`` mode)."""
+        return self._root_closed
+
+    def take_remainder(self) -> bytes:
+        """Return (and discard) unscanned bytes past the closed root element."""
+        rest = self._pending
+        self._offset += len(rest)
+        self._pending = b""
+        return rest
 
     def feed_batch(self, data: bytes) -> SoABatch:
         """Scan one pushed chunk; returns the rows that became complete."""
@@ -216,11 +244,16 @@ class ByteScanner:
         # by skipped markup) form one logical node, as after the classic
         # coalesce stage; they count once and materialize merged.
         text_run = False
+        stop_root = self._stop_root
         # Tokens only *start* before ``stop``; one starting earlier runs to
         # completion, exactly like the old per-iteration ``pos >= stop`` break.
         limit = stop if stop < length else length
 
         while pos < limit:
+            if stop_root and not stack and self._seen_root:
+                # Feed mode: the root element just closed -- bytes from here
+                # on belong to the next document (``take_remainder``).
+                break
             if buf[pos] != 60:  # not '<'
                 # ------------------------------------------- character data
                 lt = find(b"<", pos)
@@ -583,6 +616,8 @@ class ByteScanner:
         self._skip = skip
         batch.seen += seen
         batch.cost += cost
+        if stop_root and not stack and self._seen_root:
+            self._root_closed = True
         return pos
 
 

@@ -51,6 +51,9 @@ _KIND_FIELDS = {
     "fault": ("encoded",),
     "span": ("name", "seconds"),
     "run-finish": ("mode", "output_bytes"),
+    "feed-begin": ("fastpath", "resume_offset"),
+    "doc-boundary": ("index", "offset"),
+    "feed-finish": ("documents", "resume_offset"),
     "crash": ("error",),
 }
 
@@ -151,12 +154,15 @@ def dump_crash(
     fastpath: bool = False,
     chunk_offsets=None,
     queries=None,
+    context=None,
     directory: Optional[str] = None,
 ) -> Optional[str]:
     """Write a forensic snapshot for ``error``; returns the dump path.
 
     No-op (returns None) unless a directory is given or REPRO_CRASH_DIR
     is set.  Never raises: forensics must not mask the original error.
+    ``context`` carries caller watermarks (a feed's exact document start
+    and resume offsets) verbatim into the dump.
     """
     directory = directory or crash_dir()
     if not directory:
@@ -175,6 +181,7 @@ def dump_crash(
             "options": _options_payload(options),
             "chunk_offsets": list(chunk_offsets or []),
             "queries": list(queries or []),
+            "context": dict(context) if context else None,
         }
         os.makedirs(directory, exist_ok=True)
         name = f"repro-{os.getpid()}-{next(_CRASH_SEQ)}.crash.json"
@@ -221,6 +228,10 @@ def inspect_crash(path: str) -> str:
     queries = dump.get("queries") or []
     if queries:
         lines.append(f"queries: {', '.join(queries)}")
+    context = dump.get("context")
+    if context:
+        rendered = "  ".join(f"{key}={context[key]}" for key in sorted(context))
+        lines.append(f"context: {rendered}")
     stats = dump.get("stats")
     if stats:
         lines.append(

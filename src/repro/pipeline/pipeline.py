@@ -32,6 +32,7 @@ from repro.engine.plan import QueryPlan
 from repro.pipeline.projection import ProjectionSpec, StreamProjector
 from repro.pipeline.stages import batched, coalesce_batches, coalesce_characters
 from repro.xmlstream.attributes import expand_attributes
+from repro.xmlstream.errors import XMLWellFormednessError
 from repro.xmlstream.events import Event
 from repro.xmlstream.parser import DEFAULT_CHUNK_SIZE, DocumentSource, iter_event_batches
 from repro.xmlstream.tokenizer import Tokenizer
@@ -151,7 +152,12 @@ class EventPipeline:
     # ------------------------------------------------------------- push mode
 
     def open_feed(
-        self, *, expand_attrs: bool = False, stats=None, observer=None
+        self,
+        *,
+        expand_attrs: bool = False,
+        stats=None,
+        observer=None,
+        stop_at_root_close: bool = False,
     ) -> "PipelineFeed":
         """Open an incremental (push-mode) instance of the document stages.
 
@@ -160,8 +166,19 @@ class EventPipeline:
         project, returning the surviving event batch per chunk.  Input
         accounting mirrors pull mode: with the projection filter active and
         ``stats`` given, the filter records pre-drop totals itself.
+
+        With ``stop_at_root_close`` the feed parses exactly one document and
+        parks anything fed past the root's close tag (see
+        :meth:`PipelineFeed.take_remainder`) -- the substrate of continuous
+        document feeds (:mod:`repro.feeds`).
         """
-        return PipelineFeed(self, expand_attrs=expand_attrs, stats=stats, observer=observer)
+        return PipelineFeed(
+            self,
+            expand_attrs=expand_attrs,
+            stats=stats,
+            observer=observer,
+            stop_at_root_close=stop_at_root_close,
+        )
 
 
 class PipelineFeed:
@@ -173,7 +190,15 @@ class PipelineFeed:
     any number of concurrent feeds.
     """
 
-    __slots__ = ("_tokenizer", "_projector", "_expand", "_decoder", "_finished", "_observer")
+    __slots__ = (
+        "_tokenizer",
+        "_projector",
+        "_expand",
+        "_decoder",
+        "_finished",
+        "_observer",
+        "_fed_units",
+    )
 
     def __init__(
         self,
@@ -182,12 +207,19 @@ class PipelineFeed:
         expand_attrs: bool = False,
         stats=None,
         observer=None,
+        stop_at_root_close: bool = False,
     ):
-        self._tokenizer = Tokenizer(report_document_events=False)
+        self._tokenizer = Tokenizer(
+            report_document_events=False, stop_at_root_close=stop_at_root_close
+        )
         self._projector = pipeline.projector(stats)
         self._expand = expand_attrs
         self._decoder = None
         self._finished = False
+        # Units fed so far (bytes for byte chunks, characters for text) --
+        # only used to report the offset of a truncated trailing UTF-8
+        # sequence; exact whenever the caller feeds bytes throughout.
+        self._fed_units = 0
         # ``None`` when tracing is off; the traced branch costs one
         # attribute check per fed *chunk* on the untraced path.
         self._observer = observer if observer is not None and observer.enabled else None
@@ -214,6 +246,7 @@ class PipelineFeed:
         """
         if self._finished:
             raise RuntimeError("this feed is finished; open a new one")
+        self._fed_units += len(chunk)
         if isinstance(chunk, (bytes, bytearray)):
             if self._decoder is None:
                 self._decoder = codecs.getincrementaldecoder("utf-8")()
@@ -237,19 +270,51 @@ class PipelineFeed:
         """Signal end of input; returns (and stages) any remaining events.
 
         Raises :class:`~repro.xmlstream.errors.XMLWellFormednessError` when
-        the document is incomplete -- exactly like pull-mode parsing.
+        the document is incomplete -- exactly like pull-mode parsing.  A
+        byte feed that ends in the middle of a multi-byte UTF-8 sequence is
+        one such truncation: it raises (it must not decode to U+FFFD or
+        silently drop the partial tail), at the offset where the incomplete
+        sequence starts, identically to the fast path.
         """
         if self._finished:
             return []
         self._finished = True
         stage = self._stage if self._observer is None else self._stage_traced
         if self._decoder is not None:
+            pending = self._decoder.getstate()[0]
+            if pending:
+                raise XMLWellFormednessError(
+                    "truncated document: incomplete UTF-8 sequence at end of input",
+                    self._fed_units - len(pending),
+                )
             tail = self._decoder.decode(b"", final=True)
             if tail:
                 return stage(self._tokenizer.feed_batch(tail)) + stage(
                     self._tokenizer.close_batch()
                 )
         return stage(self._tokenizer.close_batch())
+
+    @property
+    def root_closed(self) -> bool:
+        """True once the root element closed (``stop_at_root_close`` mode)."""
+        return self._tokenizer.root_closed
+
+    def take_remainder(self) -> bytes:
+        """UTF-8 bytes fed past the closed root element (next document's).
+
+        Re-encoding the tokenizer's parked text is byte-exact (the decoder
+        decoded it from UTF-8 in the first place; text chunks were counted
+        at their encoded length by the feed owner), and any undecoded
+        partial sequence in the decoder is appended verbatim, so offsets
+        derived from the returned length are true byte offsets.
+        """
+        rest = self._tokenizer.take_remainder().encode("utf-8")
+        if self._decoder is not None:
+            pending = self._decoder.getstate()[0]
+            if pending:
+                rest += pending
+            self._decoder.reset()
+        return rest
 
     def _stage(self, batch: List[Event]) -> List[Event]:
         if not batch:

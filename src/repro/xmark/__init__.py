@@ -10,6 +10,9 @@ provides the equivalent ingredients:
   that emits documents of a chosen scale directly as a stream of text chunks,
 * :mod:`repro.xmark.queries` -- the five benchmark queries exactly as listed
   in Appendix A,
+* :mod:`repro.xmark.ticker` -- a synthetic infinite auction ticker: an
+  endless stream of small, deterministic ``<site>`` documents for the
+  continuous-feed mode (:mod:`repro.feeds`),
 * :mod:`repro.xmark.usecases` -- the bibliography DTDs and XMP use-case
   queries used as running examples in Sections 1 and 4.3.
 """
@@ -24,6 +27,13 @@ from repro.xmark.generator import (
     write_document,
 )
 from repro.xmark.queries import BENCHMARK_QUERIES, query_source
+from repro.xmark.ticker import (
+    DEFAULT_TICK_SCALE,
+    TICK_SEPARATOR,
+    iter_ticker_chunks,
+    iter_ticker_documents,
+    ticker_document,
+)
 from repro.xmark.usecases import (
     BIB_DTD_ORDERED,
     BIB_DTD_UNORDERED,
@@ -39,6 +49,8 @@ __all__ = [
     "BIB_DTD_ORDERED",
     "BIB_DTD_UNORDERED",
     "BIB_DTD_USECASES",
+    "DEFAULT_TICK_SCALE",
+    "TICK_SEPARATOR",
     "XMARK_DTD_SOURCE",
     "XMP_Q1",
     "XMP_Q2",
@@ -49,7 +61,10 @@ __all__ = [
     "generate_bibliography",
     "generate_document",
     "iter_document_chunks",
+    "iter_ticker_chunks",
+    "iter_ticker_documents",
     "query_source",
+    "ticker_document",
     "write_document",
     "xmark_dtd",
 ]

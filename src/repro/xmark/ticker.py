@@ -1,0 +1,83 @@
+"""A synthetic infinite XMark auction ticker.
+
+The continuous-feed workload: an endless stream of small, complete XMark
+``<site>`` documents -- one "tick" of auction activity each -- separated
+by newlines.  Deterministic per ``(seed, index)``: tick *i* is generated
+from an :class:`~repro.xmark.generator.XMarkConfig` seeded with
+``seed + i``, so a feed can be replayed byte-identically (the substrate
+of the crash/resume soak) and any single tick can be regenerated solo to
+compare per-document output.
+
+Two shapes of iteration:
+
+* :func:`iter_ticker_documents` -- one complete document text per tick,
+* :func:`iter_ticker_chunks` -- the concatenated stream re-cut into
+  fixed-size byte chunks, the shape a network delivers (chunk boundaries
+  land anywhere, including across document boundaries).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.xmark.generator import config_for_scale, generate_document
+
+#: Default per-tick scale: a few kilobytes of auction activity per document.
+DEFAULT_TICK_SCALE = 0.01
+#: Separator between consecutive ticks in the concatenated stream.
+TICK_SEPARATOR = "\n"
+
+
+def ticker_document(index: int, *, seed: int = 42, scale: float = DEFAULT_TICK_SCALE) -> str:
+    """The complete document text of tick ``index`` (deterministic)."""
+    if index < 0:
+        raise ValueError(f"tick index must be >= 0, got {index}")
+    return generate_document(config_for_scale(scale, seed=seed + index))
+
+
+def iter_ticker_documents(
+    *,
+    documents: Optional[int] = None,
+    seed: int = 42,
+    scale: float = DEFAULT_TICK_SCALE,
+) -> Iterator[str]:
+    """Yield complete tick documents; endless when ``documents`` is None."""
+    index = 0
+    while documents is None or index < documents:
+        yield ticker_document(index, seed=seed, scale=scale)
+        index += 1
+
+
+def iter_ticker_chunks(
+    *,
+    documents: Optional[int] = None,
+    seed: int = 42,
+    scale: float = DEFAULT_TICK_SCALE,
+    chunk_size: int = 8192,
+) -> Iterator[bytes]:
+    """The concatenated ticker stream, re-cut into ``chunk_size``-byte chunks.
+
+    Every document is followed by :data:`TICK_SEPARATOR`; chunk boundaries
+    fall wherever the byte count says, which is exactly what a feed must
+    tolerate.  Endless when ``documents`` is None.
+    """
+    if chunk_size <= 0:
+        raise ValueError(f"chunk_size must be positive, got {chunk_size}")
+    pending = bytearray()
+    for document in iter_ticker_documents(documents=documents, seed=seed, scale=scale):
+        pending += document.encode("utf-8")
+        pending += TICK_SEPARATOR.encode("utf-8")
+        while len(pending) >= chunk_size:
+            yield bytes(pending[:chunk_size])
+            del pending[:chunk_size]
+    if pending:
+        yield bytes(pending)
+
+
+__all__ = [
+    "DEFAULT_TICK_SCALE",
+    "TICK_SEPARATOR",
+    "iter_ticker_chunks",
+    "iter_ticker_documents",
+    "ticker_document",
+]

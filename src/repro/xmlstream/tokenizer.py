@@ -184,7 +184,13 @@ class Tokenizer:
     root) and raises :class:`XMLWellFormednessError` when violated.
     """
 
-    def __init__(self, *, strip_whitespace: bool = True, report_document_events: bool = True):
+    def __init__(
+        self,
+        *,
+        strip_whitespace: bool = True,
+        report_document_events: bool = True,
+        stop_at_root_close: bool = False,
+    ):
         self._buffer = ""
         self._pos = 0
         self._offset = 0  # absolute document offset of self._buffer[0]
@@ -194,6 +200,8 @@ class Tokenizer:
         self._seen_root = False
         self._strip_whitespace = strip_whitespace
         self._report_document_events = report_document_events
+        self._stop_at_root_close = stop_at_root_close
+        self._root_closed = False
         self._start_cache: dict = {}
         self._end_cache: dict = {}
 
@@ -234,6 +242,24 @@ class Tokenizer:
         """Per-event wrapper around :meth:`close_batch`."""
         yield from self.close_batch()
 
+    @property
+    def root_closed(self) -> bool:
+        """True once the root element closed (``stop_at_root_close`` mode)."""
+        return self._root_closed
+
+    def take_remainder(self) -> str:
+        """Return (and discard) unparsed text past the closed root element.
+
+        Only meaningful with ``stop_at_root_close=True``: after
+        :attr:`root_closed` turns true, the text that arrived beyond the root
+        close belongs to the *next* document in a concatenated feed.
+        """
+        rest = self._buffer[self._pos :]
+        self._offset += len(self._buffer)
+        self._buffer = ""
+        self._pos = 0
+        return rest
+
     # ------------------------------------------------------------ internals
 
     def _here(self) -> int:
@@ -256,10 +282,16 @@ class Tokenizer:
         strip = self._strip_whitespace
         start_cache = self._start_cache
         end_cache = self._end_cache
+        stop_root = self._stop_at_root_close
 
         while pos < length:
+            if stop_root and not stack and self._seen_root:
+                # Feed mode: the root element just closed -- everything from
+                # here on belongs to the next document (``take_remainder``).
+                break
             if buffer[pos] != "<":
                 # ------------------------------------------- character data
+                start = pos
                 lt = find("<", pos)
                 if lt == -1:
                     if not final:
@@ -275,7 +307,9 @@ class Tokenizer:
                     if not strip or not raw.isspace():
                         append(Characters(raw))
                 elif not raw.isspace():
-                    self._pos = pos
+                    # Report at the start of the offending text run -- same
+                    # offset convention as the fast path's byte scanner.
+                    self._pos = start
                     raise XMLWellFormednessError(
                         "character data outside the root element", self._here()
                     )
@@ -298,6 +332,7 @@ class Tokenizer:
                         raise XMLSyntaxError("unterminated tag", self._here())
                     break
                 name = buffer[pos + 2 : gt]
+                tag_at = pos
                 pos = gt + 1
                 if stack and stack[-1] == name:
                     # Fast path: the name was validated when its start tag was
@@ -316,7 +351,7 @@ class Tokenizer:
                     append(event)
                 else:
                     self._pos = pos
-                    append(self._end_tag(name.strip()))
+                    append(self._end_tag(name.strip(), self._offset + tag_at))
                 continue
 
             if second == "?":
@@ -390,12 +425,15 @@ class Tokenizer:
                     raise XMLSyntaxError("unterminated tag", self._here())
                 break
             raw_tag = buffer[pos + 1 : gt]
+            tag_at = pos
             pos = gt + 1
             event = start_cache.get(raw_tag)
             if event is not None:
                 if not stack:
                     if self._seen_root:
-                        self._pos = pos
+                        # Offset of the second root's '<', matching the fast
+                        # path's byte scanner.
+                        self._pos = tag_at
                         raise XMLWellFormednessError("multiple root elements", self._here())
                     self._seen_root = True
                 stack.append(event.name)
@@ -409,6 +447,7 @@ class Tokenizer:
             name, attributes = self._parse_tag_content(raw_tag)
             if not stack:
                 if self._seen_root:
+                    self._pos = tag_at
                     raise XMLWellFormednessError("multiple root elements", self._here())
                 self._seen_root = True
             event = StartElement(name, tuple(attributes))
@@ -430,18 +469,26 @@ class Tokenizer:
             continue
 
         self._pos = pos
+        if stop_root and not stack and self._seen_root:
+            self._root_closed = True
         return events
 
-    def _end_tag(self, name: str) -> EndElement:
-        """Slow-path end tag: full name validation and mismatch reporting."""
+    def _end_tag(self, name: str, at: int = None) -> EndElement:
+        """Slow-path end tag: full name validation and mismatch reporting.
+
+        ``at`` is the absolute offset of the tag's ``<`` -- errors are
+        reported there, the same convention as the fast path's byte scanner.
+        """
+        if at is None:
+            at = self._here()
         if not name or not all(_is_name_char(c) or _is_name_start(c) for c in name):
-            raise XMLSyntaxError(f"malformed end tag </{name}>", self._here())
+            raise XMLSyntaxError(f"malformed end tag </{name}>", at)
         if not self._stack:
-            raise XMLWellFormednessError(f"unexpected closing tag </{name}>", self._here())
+            raise XMLWellFormednessError(f"unexpected closing tag </{name}>", at)
         expected = self._stack.pop()
         if expected != name:
             raise XMLWellFormednessError(
-                f"mismatched closing tag </{name}>, expected </{expected}>", self._here()
+                f"mismatched closing tag </{name}>, expected </{expected}>", at
             )
         return EndElement(name)
 

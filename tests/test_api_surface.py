@@ -100,12 +100,39 @@ EXPECTED_SURFACE = r"""
         "kind": "value",
         "type": "ExecutionOptions"
     },
+    "DocumentResult": {
+        "init": "(self, index: 'int', start_offset: 'int', end_offset: 'int', result: 'FluxRunResult') -> None",
+        "kind": "class",
+        "members": {}
+    },
     "ExecutionOptions": {
-        "init": "(self, collect_output: 'bool' = True, expand_attrs: 'bool' = False, memory_budget: 'Optional[int]' = None, memory_page_bytes: 'Optional[int]' = None, chunk_size: 'int' = 65536, fastpath: 'Optional[bool]' = None, trace: 'Optional[bool]' = None, serve_metrics: 'Optional[int]' = None) -> None",
+        "init": "(self, collect_output: 'bool' = True, expand_attrs: 'bool' = False, memory_budget: 'Optional[int]' = None, memory_page_bytes: 'Optional[int]' = None, chunk_size: 'int' = 65536, fastpath: 'Optional[bool]' = None, trace: 'Optional[bool]' = None, serve_metrics: 'Optional[int]' = None, feed: 'Optional[FeedOptions]' = None) -> None",
         "kind": "class",
         "members": {
             "replace": "(self, **changes) -> \"'ExecutionOptions'\""
         }
+    },
+    "FeedHandle": {
+        "init": "(self, engine, *, sink=None, options: 'Optional[ExecutionOptions]' = None, governor=None, owns_governor: 'bool' = False, on_finish=None, on_document=None, on_heartbeat=None, resume_from: 'Optional[int]' = None)",
+        "kind": "class",
+        "members": {
+            "bytes_fed": "<property>",
+            "close": "(self) -> 'None'",
+            "documents_completed": "<property>",
+            "feed": "(self, chunk) -> 'List[DocumentResult]'",
+            "finish": "(self) -> 'FeedResult'",
+            "resume_offset": "<property>"
+        }
+    },
+    "FeedOptions": {
+        "init": "(self, heartbeat_interval_bytes: 'int' = 1048576, resume_offset: 'int' = 0) -> None",
+        "kind": "class",
+        "members": {}
+    },
+    "FeedResult": {
+        "init": "(self, documents_completed: 'int', resume_offset: 'int', bytes_fed: 'int') -> None",
+        "kind": "class",
+        "members": {}
     },
     "FluxEngine": {
         "init": "(self, query: 'Union[str, XQExpr, FluxExpr]', dtd: 'DTD', *, root_element: 'Optional[str]' = None, root_var: 'str' = '$ROOT', apply_simplifications: 'bool' = True, require_safe: 'bool' = True, projection: 'bool' = True, memory_budget: 'Optional[int]' = None, memory_page_bytes: 'Optional[int]' = None)",
@@ -114,7 +141,8 @@ EXPECTED_SURFACE = r"""
             "describe_buffers": "(self) -> 'str'",
             "execute": "(self, document: 'DocumentSource', *, sink=None, options: 'Optional[ExecutionOptions]' = None, governor: 'Optional[MemoryGovernor]' = None, owns_governor: 'bool' = True, on_finish=None) -> 'FluxRunResult'",
             "flux_source": "(self) -> 'str'",
-            "open_run": "(self, *, sink=None, options: 'Optional[ExecutionOptions]' = None, governor: 'Optional[MemoryGovernor]' = None, owns_governor: 'bool' = True, on_finish=None) -> 'RunHandle'",
+            "open_feed": "(self, *, sink=None, options: 'Optional[ExecutionOptions]' = None, governor: 'Optional[MemoryGovernor]' = None, owns_governor: 'bool' = True, on_finish=None, on_document=None, on_heartbeat=None, resume_from: 'Optional[int]' = None)",
+            "open_run": "(self, *, sink=None, options: 'Optional[ExecutionOptions]' = None, governor: 'Optional[MemoryGovernor]' = None, owns_governor: 'bool' = True, on_finish=None, stop_at_root_close: 'bool' = False, annotations: 'Optional[dict]' = None) -> 'RunHandle'",
             "run": "(self, document: 'DocumentSource', *, collect_output: 'bool' = True, expand_attrs: 'bool' = False) -> 'FluxRunResult'",
             "run_events": "(self, events, *, collect_output: 'bool' = True) -> 'FluxRunResult'",
             "run_streaming": "(self, document: 'DocumentSource', *, expand_attrs: 'bool' = False) -> 'StreamingRun'",
@@ -237,6 +265,7 @@ EXPECTED_SURFACE = r"""
             "describe_buffers": "(self) -> 'str'",
             "execute": "(self, document: 'DocumentSource', *, sink=None, options: 'Optional[ExecutionOptions]' = None, **overrides) -> 'FluxRunResult'",
             "flux_source": "<property>",
+            "open_feed": "(self, sink=None, *, options: 'Optional[ExecutionOptions]' = None, on_document=None, on_heartbeat=None, resume_from: 'Optional[int]' = None, **overrides) -> \"'FeedHandle'\"",
             "open_run": "(self, sink=None, *, options: 'Optional[ExecutionOptions]' = None, **overrides) -> 'RunHandle'",
             "plan": "<property>",
             "stream": "(self, document: 'DocumentSource', *, options: 'Optional[ExecutionOptions]' = None, **overrides) -> 'StreamingRun'"
@@ -269,7 +298,7 @@ EXPECTED_SURFACE = r"""
         }
     },
     "RunHandle": {
-        "init": "(self, executor: 'StreamExecutor', feed, governor=None, owns_governor: 'bool' = True, on_finish=None, observer=None, fastpath: 'bool' = False, options: 'Optional[ExecutionOptions]' = None)",
+        "init": "(self, executor: 'StreamExecutor', feed, governor=None, owns_governor: 'bool' = True, on_finish=None, observer=None, fastpath: 'bool' = False, options: 'Optional[ExecutionOptions]' = None, annotations: 'Optional[dict]' = None)",
         "kind": "class",
         "members": {
             "close": "(self) -> 'None'",

@@ -81,6 +81,13 @@ def test_explain_buffers_example():
     assert "spills attributed" in out
 
 
+def test_feed_ticker_example():
+    out = _run("feed_ticker.py", "0.02")
+    assert "byte-identical to solo runs : True" in out
+    assert "live bytes at every boundary: [0]" in out
+    assert "resume byte-identical to the uninterrupted run: True" in out
+
+
 def test_every_example_is_exercised():
     """Every script in examples/ has a smoke test in this module."""
     scripts = {path.name for path in EXAMPLES_DIR.glob("*.py")}
@@ -93,5 +100,6 @@ def test_every_example_is_exercised():
         "push_feed.py",
         "trace_run.py",
         "explain_buffers.py",
+        "feed_ticker.py",
     }
     assert scripts == covered, f"examples without a smoke test: {scripts - covered}"
