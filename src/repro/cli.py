@@ -14,6 +14,8 @@ Python code::
     python -m repro fuzz     --replay fuzz-failures/seed1-case23.case
     python -m repro feed     --query Q1 --documents 100 --chunk-size 4096
     python -m repro feed     --query q.xq --dtd bib.dtd --root bib --input stream.xml
+    python -m repro serve    --documents 1000 --port 9901
+    python -m repro subscribe --query Q1 --query Q13 --port 9901
     python -m repro inspect  crash-dumps/repro-1234-1.crash.json
 
 ``compile`` prints the scheduled FluX query and the buffer trees; ``run``
@@ -48,6 +50,14 @@ with ``--dtd``/``--root`` naming their schema).  The stream is cut into
 summary line reports documents/second and the final resume offset, and
 ``--resume-from`` skips an already-processed prefix (the crash-recovery
 recipe: pass the resume offset a previous run printed or dumped).
+
+``serve`` runs the streaming subscription server (:mod:`repro.serve`):
+one shared tokenize -> coalesce -> project pass over a live feed (the
+XMark ticker, a file of concatenated documents, or client-pushed chunks
+with ``--client-fed``), fanned out to any number of subscribed queries
+over NDJSON-over-TCP.  ``subscribe`` is the matching client: it
+registers one or more queries (``--query``, repeatable) on a running
+server and streams their results to stdout until ``eof``.
 
 ``fuzz`` drives the randomized conformance harness
 (:mod:`repro.conformance`): ``--seed``/``--cases`` sweep generated
@@ -492,6 +502,105 @@ def _cmd_feed(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    import time
+
+    from repro.serve import ServeServer, SubscriptionHub
+
+    if args.chunk_size <= 0:
+        print("error: --chunk-size must be positive", file=sys.stderr)
+        return 2
+    _serve_metrics_banner(args.serve_metrics)
+    hub = SubscriptionHub(
+        _load_schema(args),
+        options=ExecutionOptions(
+            memory_budget=args.memory_budget,
+            fastpath=True if args.fastpath else None,
+            serve_metrics=args.serve_metrics,
+        ),
+    )
+    if args.client_fed:
+        chunks = None
+        source = "client-fed stream"
+    elif args.input is not None:
+        chunks = _iter_file_chunks(args.input, args.chunk_size)
+        source = args.input
+    else:
+        chunks = iter_ticker_chunks(
+            documents=args.documents,
+            seed=args.seed,
+            scale=args.scale,
+            chunk_size=args.chunk_size,
+        )
+        source = f"ticker({args.documents} docs, scale {args.scale}, seed {args.seed})"
+
+    server = ServeServer(hub, host=args.host, port=args.port, chunks=chunks)
+    server.start()
+    print(f"subscription server on {args.host}:{server.port} ({source})", flush=True)
+    try:
+        server.join()
+        # Give connected subscribers a window to drain their queues and
+        # receive ``eof`` before the socket goes away.
+        deadline = time.monotonic() + args.linger
+        while time.monotonic() < deadline:
+            if all(c.eof_sent or c.closed for c in list(server._connections)):
+                break
+            time.sleep(0.05)
+    except KeyboardInterrupt:
+        print("interrupted; shutting down", file=sys.stderr)
+    finally:
+        server.stop()
+    progress = hub.progress()
+    print(
+        f"served {progress['documents_completed']} documents, "
+        f"{progress['bytes_fed']} bytes; fanout attaches={progress['fanout']['attaches']} "
+        f"detaches={progress['fanout']['detaches']} recompiles={progress['fanout']['recompiles']}"
+    )
+    return 1 if server.engine_error is not None else 0
+
+
+def _resolve_subscribe_query(argument: str) -> str:
+    # Built-in names travel as-is (the server resolves them); anything else
+    # must be a local query file whose text goes over the wire.
+    if argument in BENCHMARK_QUERIES:
+        return argument
+    return _read(argument)
+
+
+def _cmd_subscribe(args) -> int:
+    from repro.serve import SubscribeClient
+
+    queries = [_resolve_subscribe_query(q) for q in args.query]
+    results = 0
+    status = 0
+    try:
+        with SubscribeClient(args.host, args.port, timeout=args.timeout) as client:
+            for query in queries:
+                client.subscribe(query, policy=args.policy, max_queue=args.max_queue)
+            for frame in client.frames():
+                event = frame.get("event")
+                if event == "subscribed":
+                    print(f"subscribed as {frame['name']}", file=sys.stderr)
+                elif event == "result":
+                    results += 1
+                    if not args.quiet:
+                        print(frame["output"], end="")
+                        if frame["output"] and not frame["output"].endswith("\n"):
+                            print()
+                    if args.max_results is not None and results >= args.max_results:
+                        break
+                elif event == "error":
+                    print(f"server error: {frame.get('message')}", file=sys.stderr)
+                    status = 1
+                elif event == "eof":
+                    break
+    except (ConnectionError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    print(f"{results} results received", file=sys.stderr)
+    return status
+
+
 def _cmd_inspect(args) -> int:
     from repro.obs.recorder import inspect_crash
 
@@ -724,6 +833,85 @@ def build_parser() -> argparse.ArgumentParser:
     _add_memory_budget_argument(feed_parser)
     _add_serve_metrics_argument(feed_parser)
     feed_parser.set_defaults(handler=_cmd_feed)
+
+    serve_parser = subparsers.add_parser(
+        "serve",
+        help="run the streaming subscription server (repro.serve) over a live feed",
+    )
+    _add_schema_arguments(serve_parser)
+    serve_parser.add_argument("--host", default="127.0.0.1", help="listen address")
+    serve_parser.add_argument(
+        "--port", type=int, default=0, help="listen port (0 picks an ephemeral port)"
+    )
+    serve_parser.add_argument(
+        "--input",
+        help="file of concatenated documents to stream (omit for the XMark ticker)",
+    )
+    serve_parser.add_argument(
+        "--client-fed",
+        action="store_true",
+        help="no server-side source: clients push the stream via 'feed'/'finish' ops",
+    )
+    serve_parser.add_argument(
+        "--documents", type=int, default=100, help="ticker mode: number of tick documents"
+    )
+    serve_parser.add_argument(
+        "--scale", type=float, default=DEFAULT_TICK_SCALE, help="ticker mode: per-tick scale"
+    )
+    serve_parser.add_argument("--seed", type=int, default=42, help="ticker mode: generator seed")
+    serve_parser.add_argument(
+        "--chunk-size",
+        type=int,
+        default=8192,
+        metavar="BYTES",
+        help="cut the stream into chunks of this many bytes",
+    )
+    serve_parser.add_argument(
+        "--linger",
+        type=float,
+        default=5.0,
+        metavar="SECONDS",
+        help="after the feed ends, wait up to this long for subscribers to drain",
+    )
+    _add_fastpath_argument(serve_parser)
+    _add_memory_budget_argument(serve_parser)
+    _add_serve_metrics_argument(serve_parser)
+    serve_parser.set_defaults(handler=_cmd_serve)
+
+    subscribe_parser = subparsers.add_parser(
+        "subscribe",
+        help="subscribe queries to a running subscription server and stream results",
+    )
+    subscribe_parser.add_argument(
+        "--query",
+        action="append",
+        required=True,
+        help=(
+            "a built-in XMark query name (Q1, Q8, ...) or a path to an XQuery- "
+            "file; repeatable for several subscriptions on one connection"
+        ),
+    )
+    subscribe_parser.add_argument("--host", default="127.0.0.1", help="server address")
+    subscribe_parser.add_argument("--port", type=int, required=True, help="server port")
+    subscribe_parser.add_argument(
+        "--policy",
+        choices=("block", "drop", "disconnect"),
+        default="block",
+        help="slow-consumer policy for these subscriptions",
+    )
+    subscribe_parser.add_argument(
+        "--max-queue", type=int, default=None, help="bounded delivery queue depth"
+    )
+    subscribe_parser.add_argument(
+        "--max-results", type=int, default=None, help="disconnect after this many results"
+    )
+    subscribe_parser.add_argument(
+        "--timeout", type=float, default=30.0, help="socket timeout in seconds"
+    )
+    subscribe_parser.add_argument(
+        "--quiet", action="store_true", help="count results instead of printing them"
+    )
+    subscribe_parser.set_defaults(handler=_cmd_subscribe)
 
     inspect_parser = subparsers.add_parser(
         "inspect",

@@ -138,6 +138,22 @@ class FlatProjectionTable:
             self.cells[state_idx * self.width + tid] = cell
             return cell
 
+    def refresh_metadata(self) -> None:
+        """Re-derive every interned row's metadata from its state object.
+
+        The dynamic fanout mutates membership masks *on the state objects*
+        when a subscription detaches (a tombstone, not a rebuild); this
+        sweep folds the new masks into the flat rows without touching a
+        single transition cell, so the table stays warm.
+        """
+        with self._lock:
+            describe = self._describe
+            for idx, obj in enumerate(self._objs):
+                chars_keep, keep_mask, chars_mask = describe(obj)
+                self.chars_keep[idx] = chars_keep
+                self.keep_masks[idx] = keep_mask
+                self.chars_masks[idx] = chars_mask
+
     def resolve_name(self, state_idx: int, name: str) -> int:
         """Transition by name for uninterned (past-the-cap) tags.
 

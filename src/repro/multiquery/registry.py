@@ -22,11 +22,22 @@ from repro.dtd.schema import DTD
 from repro.engine.engine import FluxEngine, ensure_rooted
 from repro.engine.plan import QueryPlan
 from repro.flux.ast import FluxExpr
+from repro.obs.metrics import global_registry
 from repro.pipeline.projection import ProjectionSpec
 from repro.xquery.ast import XQExpr
 
 #: Anything `FluxEngine` accepts as a query.
 QuerySource = Union[str, XQExpr, FluxExpr]
+
+# Process-wide registry-mutation telemetry (:mod:`repro.obs`): bumped once
+# per registration change, so cost is nil.
+_metrics = global_registry()
+_REGISTERED = _metrics.counter(
+    "repro.registry.registered.total", "Queries registered into query registries"
+)
+_UNREGISTERED = _metrics.counter(
+    "repro.registry.unregistered.total", "Queries unregistered from query registries"
+)
 
 
 @dataclass
@@ -98,6 +109,7 @@ class QueryRegistry:
         entry = RegisteredQuery(name=name, index=len(self._entries), engine=engine)
         self._entries[name] = entry
         self.version += 1
+        _REGISTERED.inc()
         return entry
 
     def register_engine(self, name: str, engine: FluxEngine) -> RegisteredQuery:
@@ -121,6 +133,30 @@ class QueryRegistry:
         entry = RegisteredQuery(name=name, index=len(self._entries), engine=engine)
         self._entries[name] = entry
         self.version += 1
+        _REGISTERED.inc()
+        return entry
+
+    def unregister(self, name: str) -> RegisteredQuery:
+        """Remove the query registered under ``name``; returns its entry.
+
+        Later entries shift down to keep indices dense (an index is a
+        position in per-run structures -- membership masks, sub-batch
+        lists -- which are rebuilt from the bumped ``version`` anyway).
+        Buffers and governor charges are strictly per *run*, released when
+        each pass finishes, so unregistration never leaves dangling bytes:
+        the registry holds compiled plans only.
+        """
+        try:
+            entry = self._entries.pop(name)
+        except KeyError:
+            raise KeyError(
+                f"no query registered under {name!r}; registered: {sorted(self._entries)}"
+            ) from None
+        for survivor in self._entries.values():
+            if survivor.index > entry.index:
+                survivor.index -= 1
+        self.version += 1
+        _UNREGISTERED.inc()
         return entry
 
     # ----------------------------------------------------------------- access

@@ -1,0 +1,116 @@
+"""A small blocking NDJSON client for the subscription server.
+
+Deliberately thin: a socket, the frame splitter, and helpers for the
+common operations.  The CLI's ``repro subscribe``, the examples and the
+end-to-end tests all drive the server through this class, so the wire
+protocol (:mod:`repro.serve.protocol`) stays the single integration
+surface -- anything the client can do, ``nc`` can do.
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Iterator, Optional
+
+from repro.serve.protocol import LineSplitter, encode
+
+
+class SubscribeClient:
+    """One connection to a :class:`~repro.serve.server.ServeServer`."""
+
+    def __init__(self, host: str, port: int, *, timeout: Optional[float] = 30.0):
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._splitter = LineSplitter()
+        self._frames: list = []
+        self._closed = False
+
+    # ----------------------------------------------------------------- send
+
+    def send(self, message: dict) -> None:
+        self._sock.sendall(encode(message))
+
+    def subscribe(
+        self,
+        query: str,
+        *,
+        name: Optional[str] = None,
+        policy: str = "block",
+        max_queue: Optional[int] = None,
+    ) -> None:
+        message = {"op": "subscribe", "query": query, "policy": policy}
+        if name is not None:
+            message["name"] = name
+        if max_queue is not None:
+            message["max_queue"] = max_queue
+        self.send(message)
+
+    def unsubscribe(self, name: str) -> None:
+        self.send({"op": "unsubscribe", "name": name})
+
+    def ping(self) -> None:
+        self.send({"op": "ping"})
+
+    def request_stats(self) -> None:
+        self.send({"op": "stats"})
+
+    # -------------------------------------------------------------- receive
+
+    def recv(self) -> Optional[dict]:
+        """The next frame, or ``None`` once the server closed the stream."""
+        while True:
+            if self._frames:
+                return self._frames.pop(0)
+            if self._closed:
+                return None
+            data = self._sock.recv(65536)
+            if not data:
+                self._closed = True
+                return None
+            self._frames.extend(self._splitter.feed(data))
+
+    def frames(self, *, until_eof: bool = True) -> Iterator[dict]:
+        """Iterate incoming frames; stops at ``eof`` (or stream close)."""
+        while True:
+            frame = self.recv()
+            if frame is None:
+                return
+            yield frame
+            if until_eof and frame.get("event") == "eof":
+                return
+
+    def expect(self, event: str) -> dict:
+        """Read frames until one carries ``event``; returns it.
+
+        Frames of other types arriving first (results for an earlier
+        subscription, say) are buffered back for :meth:`recv`.
+        """
+        skipped: list = []
+        try:
+            while True:
+                frame = self.recv()
+                if frame is None:
+                    raise ConnectionError(f"stream ended while waiting for {event!r}")
+                if frame.get("event") == event:
+                    return frame
+                if frame.get("event") == "error":
+                    raise RuntimeError(f"server error: {frame.get('message')}")
+                skipped.append(frame)
+        finally:
+            self._frames[:0] = skipped
+
+    # -------------------------------------------------------------- lifecycle
+
+    def close(self) -> None:
+        try:
+            self._sock.close()
+        finally:
+            self._closed = True
+
+    def __enter__(self) -> "SubscribeClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+__all__ = ["SubscribeClient"]

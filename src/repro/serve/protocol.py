@@ -1,0 +1,115 @@
+"""The subscription server's wire protocol: newline-delimited JSON.
+
+One TCP connection carries any number of subscriptions.  Every message --
+either direction -- is a single JSON object on one line, UTF-8 encoded,
+terminated by ``\\n``.  Nothing beyond the stdlib is needed on either end;
+``nc localhost PORT`` is a workable client.
+
+Client -> server operations (``op``):
+
+``subscribe``
+    ``{"op": "subscribe", "query": "Q1" | "<xquery text>", "name"?: str,
+    "policy"?: "block" | "drop" | "disconnect", "max_queue"?: int}``
+    -- register a query over the live feed.  Built-in XMark query names
+    (Q1, Q8, ...) are resolved server-side.  Replies ``subscribed`` with
+    the assigned ``name``; results follow as they seal.
+``unsubscribe``
+    ``{"op": "unsubscribe", "name": str}`` -- detach at the next document
+    boundary.  Replies ``unsubscribed``.
+``feed``
+    ``{"op": "feed", "data": str}`` -- push stream content (servers
+    started with a ticker source reject this).
+``finish``
+    ``{"op": "finish"}`` -- end a client-fed stream.
+``stats``
+    ``{"op": "stats"}`` -- replies one ``stats`` message with the hub's
+    progress snapshot (the same JSON ``/progress`` serves).
+``ping``
+    ``{"op": "ping"}`` -- replies ``pong``; liveness and ordering probe.
+
+Server -> client events (``event``):
+
+``subscribed`` / ``unsubscribed``
+    Acknowledgements; carry ``name``.
+``result``
+    ``{"event": "result", "name": str, "document": int, "seq": int,
+    "output": str}`` -- one subscription's result for one document.
+``error``
+    ``{"event": "error", "message": str}`` -- the offending operation was
+    rejected; the connection stays up.
+``eof``
+    The feed finished; no further results will arrive on any
+    subscription of this connection.
+``pong`` / ``stats``
+    Replies to the probes above.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterator, List, Optional, Tuple
+
+#: Maximum accepted line length (a defensive bound, not a protocol limit:
+#: one XMark tick's result is a few KB; 64 MB means something is wrong).
+MAX_LINE_BYTES = 64 * 1024 * 1024
+
+
+def encode(message: dict) -> bytes:
+    """One wire frame for ``message``."""
+    return json.dumps(message, separators=(",", ":"), sort_keys=True).encode("utf-8") + b"\n"
+
+
+def decode(line: bytes) -> dict:
+    """Parse one frame; raises ``ValueError`` on anything but a JSON object."""
+    try:
+        message = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"malformed frame: {exc}") from None
+    if not isinstance(message, dict):
+        raise ValueError(f"frame must be a JSON object, got {type(message).__name__}")
+    return message
+
+
+class LineSplitter:
+    """Incremental frame splitter for arbitrarily-chunked byte streams."""
+
+    def __init__(self):
+        self._pending = bytearray()
+
+    def feed(self, data: bytes) -> Iterator[dict]:
+        """Yield every complete frame the chunk completes."""
+        self._pending += data
+        if len(self._pending) > MAX_LINE_BYTES:
+            raise ValueError("frame exceeds MAX_LINE_BYTES without a newline")
+        while True:
+            index = self._pending.find(b"\n")
+            if index < 0:
+                return
+            line = bytes(self._pending[:index])
+            del self._pending[: index + 1]
+            if line.strip():
+                yield decode(line)
+
+
+def error(message: str) -> dict:
+    return {"event": "error", "message": message}
+
+
+def result_event(name: str, document: int, seq: int, output: Optional[str]) -> dict:
+    return {
+        "event": "result",
+        "name": name,
+        "document": document,
+        "seq": seq,
+        "output": output,
+    }
+
+
+__all__ = [
+    "MAX_LINE_BYTES",
+    "LineSplitter",
+    "decode",
+    "encode",
+    "error",
+    "result_event",
+]

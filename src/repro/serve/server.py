@@ -1,0 +1,401 @@
+"""The subscription server: an asyncio front-end over the synchronous hub.
+
+Threading model (two threads plus the pool asyncio keeps for itself):
+
+* the **engine thread** owns the :class:`~repro.serve.hub.SubscriptionHub`
+  and drives the shared scan -- either from a server-owned chunk source
+  (the XMark ticker, a file) or from ``feed`` operations clients push;
+* the **event-loop thread** accepts TCP connections, parses NDJSON
+  operations (:mod:`repro.serve.protocol`) and writes result frames.
+
+The bridge between them is each subscription's bounded queue: the engine
+thread delivers into it (blocking there under the ``block`` policy -- that
+is the backpressure path), the subscription's ``on_ready`` hook pokes the
+connection's pump coroutine via ``call_soon_threadsafe``, and the pump
+drains queues non-blockingly and ``await``-drains the socket, so a slow
+TCP peer stalls its own queue, then (policy permitting) the engine -- never
+the event loop.  Query compilation runs in the loop's default executor so
+a burst of subscribes cannot freeze frame writing.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import queue as _queue
+import threading
+from collections import deque
+from typing import Dict, Iterable, Optional
+
+from repro.serve.hub import DEFAULT_MAX_QUEUE, Subscription, SubscriptionHub
+from repro.serve.protocol import LineSplitter, encode, error, result_event
+from repro.xmark.queries import BENCHMARK_QUERIES
+
+#: Subscription states after which no further result can be enqueued.
+_ENDED = ("finished", "disconnected", "closed")
+
+#: Engine-thread ingest sentinels (client-fed mode).
+_FINISH = object()
+_STOP = object()
+
+
+class _Connection:
+    """Per-connection state shared by the reader and the pump coroutine."""
+
+    def __init__(self, writer: asyncio.StreamWriter):
+        self.writer = writer
+        self.subs: Dict[str, Subscription] = {}
+        self.outbox: deque = deque()
+        self.ready = asyncio.Event()
+        self.eof_sent = False
+        self.closed = False
+
+    def post(self, message: dict) -> None:
+        """Queue a control frame (ack, error, pong) and wake the pump."""
+        self.outbox.append(message)
+        self.ready.set()
+
+
+class ServeServer:
+    """One listening socket, one hub, any number of subscriber connections.
+
+    ``chunks`` makes the server self-feeding (the engine thread drains the
+    iterable, then finishes the feed); without it clients drive the stream
+    through ``feed`` / ``finish`` operations.  ``start`` returns once the
+    socket is bound (``port`` 0 picks an ephemeral port, see ``self.port``);
+    ``join`` waits for the feed to end, ``stop`` tears everything down.
+    """
+
+    def __init__(
+        self,
+        hub: SubscriptionHub,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        chunks: Optional[Iterable[bytes]] = None,
+    ):
+        self.hub = hub
+        self.host = host
+        self.port = port
+        self._chunks = chunks
+        self._ingest: "_queue.Queue" = _queue.Queue()
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._loop_thread: Optional[threading.Thread] = None
+        self._engine_thread: Optional[threading.Thread] = None
+        self._stopping = False
+        self._feed_done = threading.Event()
+        self._connections: set = set()
+        self.engine_error: Optional[BaseException] = None
+
+    # ------------------------------------------------------------- lifecycle
+
+    def start(self) -> "ServeServer":
+        started = threading.Event()
+        self._loop_thread = threading.Thread(
+            target=self._loop_main, args=(started,), name="repro-serve-loop", daemon=True
+        )
+        self._loop_thread.start()
+        started.wait()
+        if self._server is None:
+            raise RuntimeError("subscription server failed to bind")
+        self._engine_thread = threading.Thread(
+            target=self._engine_main, name="repro-serve-engine", daemon=True
+        )
+        self._engine_thread.start()
+        return self
+
+    def join(self, timeout: Optional[float] = None) -> bool:
+        """Wait until the feed finished (or aborted); True when it did."""
+        return self._feed_done.wait(timeout)
+
+    def stop(self) -> None:
+        """Stop feeding, close every connection, release the socket."""
+        if self._stopping:
+            return
+        self._stopping = True
+        self._ingest.put(_STOP)
+        self.hub.close()
+        if self._engine_thread is not None:
+            self._engine_thread.join(timeout=10)
+        loop = self._loop
+        if loop is not None and loop.is_running():
+            asyncio.run_coroutine_threadsafe(self._shutdown(), loop).result(timeout=10)
+            loop.call_soon_threadsafe(loop.stop)
+        if self._loop_thread is not None:
+            self._loop_thread.join(timeout=10)
+
+    def __enter__(self) -> "ServeServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # ---------------------------------------------------------- engine thread
+
+    def _engine_main(self) -> None:
+        hub = self.hub
+        try:
+            if self._chunks is not None:
+                for chunk in self._chunks:
+                    if self._stopping:
+                        break
+                    hub.feed(chunk)
+                if not self._stopping:
+                    hub.finish()
+            else:
+                while not self._stopping:
+                    item = self._ingest.get()
+                    if item is _STOP:
+                        break
+                    if item is _FINISH:
+                        hub.finish()
+                        break
+                    hub.feed(item)
+        except Exception as exc:  # noqa: BLE001 - reported to clients
+            self.engine_error = exc
+            hub.close()
+        finally:
+            self._feed_done.set()
+            loop = self._loop
+            if loop is not None and loop.is_running():
+                loop.call_soon_threadsafe(self._wake_all)
+
+    def _wake_all(self) -> None:
+        for connection in list(self._connections):
+            connection.ready.set()
+
+    # ------------------------------------------------------------ event loop
+
+    def _loop_main(self, started: threading.Event) -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        self._loop = loop
+
+        async def boot():
+            try:
+                self._server = await asyncio.start_server(
+                    self._handle, self.host, self.port
+                )
+                self.port = self._server.sockets[0].getsockname()[1]
+            finally:
+                started.set()
+
+        loop.run_until_complete(boot())
+        if self._server is not None:
+            loop.run_forever()
+        loop.close()
+
+    async def _shutdown(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        for connection in list(self._connections):
+            connection.closed = True
+            connection.ready.set()
+            try:
+                connection.writer.close()
+            except Exception:  # noqa: BLE001 - socket may be gone already
+                pass
+        # Closed writers surface EOF to every handler's read loop; give them
+        # a moment to unwind on their own, then cancel the stragglers so the
+        # loop stops clean.
+        for _ in range(100):
+            if not self._connections:
+                break
+            await asyncio.sleep(0.01)
+        tasks = [task for task in asyncio.all_tasks() if task is not asyncio.current_task()]
+        for task in tasks:
+            task.cancel()
+        await asyncio.gather(*tasks, return_exceptions=True)
+
+    # ------------------------------------------------------------ connections
+
+    async def _handle(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+        connection = _Connection(writer)
+        self._connections.add(connection)
+        pump = asyncio.ensure_future(self._pump(connection))
+        splitter = LineSplitter()
+        try:
+            while True:
+                data = await reader.read(65536)
+                if not data:
+                    break
+                try:
+                    for message in splitter.feed(data):
+                        await self._apply(connection, message)
+                except ValueError as exc:
+                    connection.post(error(str(exc)))
+                    break
+        except (ConnectionError, asyncio.IncompleteReadError, asyncio.CancelledError):
+            pass
+        finally:
+            connection.closed = True
+            for sub in list(connection.subs.values()):
+                self.hub.unsubscribe(sub)
+            connection.subs.clear()
+            connection.ready.set()
+            try:
+                await asyncio.wait_for(pump, timeout=10)
+            except BaseException:  # noqa: BLE001 - includes late cancellation
+                pump.cancel()
+            self._connections.discard(connection)
+            try:
+                writer.close()
+            except Exception:  # noqa: BLE001 - socket may be gone already
+                pass
+
+    async def _apply(self, connection: _Connection, message: dict) -> None:
+        op = message.get("op")
+        if op == "ping":
+            connection.post({"event": "pong"})
+        elif op == "stats":
+            connection.post({"event": "stats", "progress": self.hub.progress()})
+        elif op == "subscribe":
+            await self._op_subscribe(connection, message)
+        elif op == "unsubscribe":
+            name = message.get("name")
+            sub = connection.subs.get(name)
+            if sub is None:
+                connection.post(error(f"no subscription named {name!r}"))
+                return
+            self.hub.unsubscribe(sub)
+            connection.post({"event": "unsubscribed", "name": name})
+        elif op == "feed":
+            if self._chunks is not None:
+                connection.post(error("this server feeds itself; 'feed' is not accepted"))
+                return
+            data = message.get("data")
+            if not isinstance(data, str):
+                connection.post(error("'feed' needs a string 'data' field"))
+                return
+            self._ingest.put(data.encode("utf-8"))
+        elif op == "finish":
+            if self._chunks is not None:
+                connection.post(error("this server feeds itself; 'finish' is not accepted"))
+                return
+            self._ingest.put(_FINISH)
+        else:
+            connection.post(error(f"unknown op {message.get('op')!r}"))
+
+    async def _op_subscribe(self, connection: _Connection, message: dict) -> None:
+        query = message.get("query")
+        if not isinstance(query, str) or not query.strip():
+            connection.post(error("'subscribe' needs a non-empty 'query' field"))
+            return
+        query = BENCHMARK_QUERIES.get(query, query)
+        name = message.get("name")
+        policy = message.get("policy", "block")
+        max_queue = message.get("max_queue", DEFAULT_MAX_QUEUE)
+        loop = asyncio.get_event_loop()
+        try:
+            # Compilation can take tens of milliseconds; keep the loop free.
+            sub = await loop.run_in_executor(
+                None,
+                lambda: self.hub.subscribe(
+                    query, name=name, policy=policy, max_queue=int(max_queue)
+                ),
+            )
+        except Exception as exc:  # noqa: BLE001 - compile/validation errors
+            connection.post(error(f"subscribe failed: {exc}"))
+            return
+        if sub.name in connection.subs:
+            self.hub.unsubscribe(sub)
+            connection.post(error(f"subscription name {sub.name!r} already in use"))
+            return
+        sub.on_ready = self._make_waker(connection)
+        connection.subs[sub.name] = sub
+        connection.post({"event": "subscribed", "name": sub.name, "query": sub.query})
+
+    def _make_waker(self, connection: _Connection):
+        loop = self._loop
+
+        def wake(_sub: Subscription) -> None:
+            if loop is not None and loop.is_running():
+                loop.call_soon_threadsafe(connection.ready.set)
+
+        return wake
+
+    async def _pump(self, connection: _Connection) -> None:
+        """Drain control frames and subscription queues onto the socket."""
+        writer = connection.writer
+        try:
+            while True:
+                await connection.ready.wait()
+                connection.ready.clear()
+                while True:
+                    wrote = False
+                    while connection.outbox:
+                        writer.write(encode(connection.outbox.popleft()))
+                        wrote = True
+                    for name, sub in list(connection.subs.items()):
+                        drained = 0
+                        while drained < 32:
+                            item = sub.get_nowait()
+                            if item is None:
+                                break
+                            writer.write(
+                                encode(
+                                    result_event(
+                                        item.name, item.document, item.seq, item.output
+                                    )
+                                )
+                            )
+                            drained += 1
+                        if drained:
+                            wrote = True
+                            # The socket's flow control is the second half of
+                            # the backpressure chain: stop popping while the
+                            # peer is slow, so the bounded queue (and then
+                            # the engine, under ``block``) feels it.
+                            await writer.drain()
+                        if sub.state in _ENDED and sub.queue_depth == 0:
+                            connection.subs.pop(name, None)
+                    if not wrote:
+                        break
+                    await writer.drain()
+                if connection.closed:
+                    return
+                if (
+                    self._feed_done.is_set()
+                    and not connection.eof_sent
+                    and not connection.outbox
+                    and all(sub.queue_depth == 0 for sub in connection.subs.values())
+                ):
+                    connection.eof_sent = True
+                    if self.engine_error is not None:
+                        writer.write(encode(error(f"feed aborted: {self.engine_error}")))
+                    writer.write(encode({"event": "eof"}))
+                    await writer.drain()
+        except (ConnectionError, asyncio.CancelledError):
+            return
+
+
+def serve_ticker(
+    *,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    documents: Optional[int] = None,
+    seed: int = 42,
+    scale: Optional[float] = None,
+    chunk_size: int = 8192,
+    hub: Optional[SubscriptionHub] = None,
+) -> ServeServer:
+    """A started server self-feeding the XMark auction ticker."""
+    from repro.xmark.ticker import DEFAULT_TICK_SCALE, iter_ticker_chunks
+
+    chunks = iter_ticker_chunks(
+        documents=documents,
+        seed=seed,
+        scale=DEFAULT_TICK_SCALE if scale is None else scale,
+        chunk_size=chunk_size,
+    )
+    server = ServeServer(
+        hub if hub is not None else SubscriptionHub(),
+        host=host,
+        port=port,
+        chunks=chunks,
+    )
+    return server.start()
+
+
+__all__ = ["ServeServer", "serve_ticker"]

@@ -116,6 +116,13 @@ class MemoryGovernor:
         if self.page_bytes < 1:
             raise ValueError(f"page_bytes must be positive, got {self.page_bytes}")
         self.store = SpillStore(spill_dir)
+        #: Optional victim-selection override: a callable receiving the
+        #: sealed resident pages (LRU-first) and returning the page to
+        #: evict next.  ``None`` keeps the default LRU policy.  The
+        #: subscription server installs a heaviest-subscriber-first
+        #: selector here so one hungry subscription spills before it can
+        #: squeeze out its peers' working sets.
+        self.victim_selector: Optional[Callable] = None
         #: Sealed, resident pages in least-recently-used-first order.
         self._lru: "OrderedDict" = OrderedDict()
         #: Open (still-growing) resident pages, least-recently-appended
@@ -192,7 +199,12 @@ class MemoryGovernor:
             return
         while self.resident_bytes > self.budget_bytes:
             if self._lru:
-                page, _ = self._lru.popitem(last=False)
+                selector = self.victim_selector
+                if selector is not None:
+                    page = selector(self._lru.keys())
+                    del self._lru[page]
+                else:
+                    page, _ = self._lru.popitem(last=False)
             elif self._open_pages:
                 # No sealed victims left: force-seal the coldest open tail
                 # page.  Its buffer starts a fresh tail on the next append.

@@ -294,7 +294,8 @@ EXPECTED_SURFACE = r"""
             "get": "(self, name: 'str') -> 'RegisteredQuery'",
             "names": "<property>",
             "register": "(self, name: 'str', query: 'QuerySource', *, projection: 'Optional[bool]' = None, apply_simplifications: 'bool' = True, require_safe: 'bool' = True) -> 'RegisteredQuery'",
-            "register_engine": "(self, name: 'str', engine: 'FluxEngine') -> 'RegisteredQuery'"
+            "register_engine": "(self, name: 'str', engine: 'FluxEngine') -> 'RegisteredQuery'",
+            "unregister": "(self, name: 'str') -> 'RegisteredQuery'"
         }
     },
     "RunHandle": {

@@ -88,6 +88,14 @@ def test_feed_ticker_example():
     assert "resume byte-identical to the uninterrupted run: True" in out
 
 
+def test_serve_ticker_example():
+    out = _run("serve_ticker.py", "8")
+    assert "subscription server on 127.0.0.1:" in out
+    assert "early byte-identical to solo runs: True" in out
+    assert "late byte-identical to solo runs : True" in out
+    assert "recompiles=0" in out
+
+
 def test_every_example_is_exercised():
     """Every script in examples/ has a smoke test in this module."""
     scripts = {path.name for path in EXAMPLES_DIR.glob("*.py")}
@@ -101,5 +109,6 @@ def test_every_example_is_exercised():
         "trace_run.py",
         "explain_buffers.py",
         "feed_ticker.py",
+        "serve_ticker.py",
     }
     assert scripts == covered, f"examples without a smoke test: {scripts - covered}"
